@@ -1,0 +1,16 @@
+"""Figure 9: Total Map Output Size for Query-Suggestion.
+
+Regenerates the 4 strategies x 3 partitioners grid.  Expected shape
+(paper Section 7.2): Original constant across partitioners; EagerSH
+and LazySH always smaller; AdaptiveSH best (or tied with LazySH at
+Prefix-1 modulo flag bytes); best reduction factor in the tens.
+"""
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_map_output(report_runner) -> None:
+    result = report_runner(run_fig9, num_queries=6000, num_reducers=8)
+    for row in result.rows:
+        assert row["AdaptiveSH"] < row["Original"]
+    assert result.notes["best_reduction_factor"] > 10

@@ -1,0 +1,13 @@
+"""Figure 10: Map output size with Combiner + gzip compression.
+
+Expected shape (paper Section 7.4): compression shrinks every bar, but
+Anti-Combining still beats Original for all three partitioners.
+"""
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_compressed_output(report_runner) -> None:
+    result = report_runner(run_fig10, num_queries=6000, num_reducers=8)
+    for row in result.rows:
+        assert row["AdaptiveSH"] < row["Original"]

@@ -1,0 +1,21 @@
+"""Figure 11: total CPU time under runtime cost-based optimisation.
+
+Expected shape (paper Section 7.6): Adaptive-inf wins at low extra Map
+work, loses to Adaptive-0 as the Map gets expensive (its LazySH
+re-executions double the busy work); Adaptive-alpha follows the
+winner on both ends of the sweep.
+"""
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_cpu_threshold(report_runner) -> None:
+    result = report_runner(
+        run_fig11,
+        num_queries=1200,
+        num_reducers=4,
+        work_levels=(0, 2, 4, 8, 12, 16),
+    )
+    high = result.rows[-1]
+    assert high["Adaptive-0"] < high["Adaptive-inf"]
+    assert high["Adaptive-alpha"] < high["Adaptive-inf"]

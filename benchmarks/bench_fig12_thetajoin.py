@@ -1,0 +1,36 @@
+"""Figure 12: 1-Bucket-Theta band join, map output size and runtime.
+
+Expected shape (paper Section 7.7.3): heavy replication makes
+Original's map output huge; AdaptiveSH (choosing LazySH everywhere)
+cuts it by multiples (paper: 9.5x) and uncompressed AdaptiveSH beats
+compressed Original; runtime tracks map output size.
+"""
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_thetajoin(report_runner) -> None:
+    # 24x24 regions over 8 reducers models the memory-aware chunking:
+    # replication 48x, approaching the paper's 67x.
+    result = report_runner(
+        run_fig12,
+        num_records=1200,
+        grid_rows=24,
+        grid_cols=24,
+        num_reducers=8,
+    )
+    by_name = {row["Configuration"]: row for row in result.rows}
+    assert (
+        by_name["AdaptiveSH"]["Map Output (B)"]
+        < by_name["Original"]["Map Output (B)"] / 5
+    )
+    # AdaptiveSH without compression already beats Original with it
+    assert (
+        by_name["AdaptiveSH"]["Map Output (B)"]
+        < by_name["Original-CP"]["Map Output (B)"]
+    )
+    assert result.notes["adaptive_lazy_fraction"] > 0.9
+    assert (
+        by_name["AdaptiveSH"]["Runtime (s)"]
+        < by_name["Original"]["Runtime (s)"]
+    )

@@ -1,0 +1,18 @@
+"""Section 7.1: Anti-Combining overhead on Sort (no sharing possible).
+
+Expected shape: every record degenerates to a PLAIN (flagged) record;
+disk/transfer overhead is the flag bytes (a few percent at our record
+sizes, 0.2% at the paper's); CPU/runtime overhead against a Map that
+does real work stays around ten percent (paper: +7.8% CPU).
+"""
+
+from repro.experiments import run_sec71
+
+
+def test_sec71_overhead(report_runner) -> None:
+    result = report_runner(run_sec71, num_lines=4000, num_reducers=8)
+    assert result.notes["all_records_degenerate_to_plain"]
+    disk = result.row_by("Metric", "Total disk read+write (B)")
+    assert disk["Overhead %"] < 10
+    cpu = result.row_by("Metric", "Total CPU, busy Map (s)")
+    assert cpu["Overhead %"] < 50

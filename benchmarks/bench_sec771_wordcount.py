@@ -1,0 +1,17 @@
+"""Section 7.7.1: WordCount with a highly effective Combiner.
+
+Expected shape: map output records cut by ~7x, local disk I/O by
+multiples (paper: 9.1x read / 6.3x write), CPU and runtime above 1x
+(paper: 1.7x / 1.44x), shuffle essentially unchanged.
+"""
+
+from repro.experiments import run_wordcount_experiment
+
+
+def test_sec771_wordcount(report_runner) -> None:
+    result = report_runner(
+        run_wordcount_experiment, num_lines=1500, num_reducers=8
+    )
+    assert result.row_by("Metric", "Map output records")["Factor"] > 4
+    assert result.row_by("Metric", "Disk read (B)")["Factor"] > 2
+    assert result.row_by("Metric", "CPU (s)")["Factor"] > 1

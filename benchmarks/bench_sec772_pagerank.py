@@ -1,0 +1,16 @@
+"""Section 7.7.2: PageRank, five iterations on a skewed web graph.
+
+Expected shape (paper): shuffle ~2.7x, disk read ~3.5x, disk write
+~3.2x, CPU ~2.8x, runtime ~2.4x — all in AdaptiveSH's favour.
+"""
+
+from repro.experiments import run_pagerank_experiment
+
+
+def test_sec772_pagerank(report_runner) -> None:
+    result = report_runner(
+        run_pagerank_experiment, num_nodes=1500, iterations=5, num_reducers=8
+    )
+    assert result.row_by("Metric", "Shuffle (B)")["Factor"] > 1.5
+    assert result.row_by("Metric", "Disk read (B)")["Factor"] > 2
+    assert result.row_by("Metric", "Runtime (s)")["Factor"] > 1

@@ -1,0 +1,18 @@
+"""Table 1: cost breakdown per compression technique (Prefix-5).
+
+Expected shape: bzip2 best ratio / worst CPU, snappy worst ratio, and
+AdaptiveSH+gzip winning all four columns (disk read, disk write, map
+output size, CPU).
+"""
+
+from repro.experiments import run_table1
+
+
+def test_table1_codecs(report_runner) -> None:
+    result = report_runner(run_table1, num_queries=6000, num_reducers=8)
+    by_name = {row["Configuration"]: row for row in result.rows}
+    anti = by_name["AdaptiveSH+gzip"]
+    for codec in ("Deflate", "Gzip", "Bzip2", "Snappy"):
+        assert anti["Map Output (B)"] < by_name[codec]["Map Output (B)"]
+        assert anti["Disk Read (B)"] < by_name[codec]["Disk Read (B)"]
+        assert anti["Disk Write (B)"] < by_name[codec]["Disk Write (B)"]

@@ -1,0 +1,24 @@
+"""Table 2: total cost breakdown of Query-Suggestion (Prefix-5).
+
+Expected shape: AdaptiveSH variants beat their Original counterparts
+on CPU and local disk; Combine-in-Shared (-CB) eliminates (virtually
+all) Shared spills — the Section 7.5 finding.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2_breakdown(report_runner) -> None:
+    result = report_runner(run_table2, num_queries=6000, num_reducers=8)
+    by_name = {row["Algorithm"]: row for row in result.rows}
+    assert (
+        by_name["AdaptiveSH"]["Disk Read (B)"]
+        < by_name["Original"]["Disk Read (B)"]
+    )
+    assert (
+        by_name["AdaptiveSH"]["CPU (s)"] < by_name["Original"]["CPU (s)"]
+    )
+    assert (
+        by_name["AdaptiveSH-CB"]["Shared Spills"]
+        < by_name["AdaptiveSH"]["Shared Spills"]
+    )

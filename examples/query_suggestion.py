@@ -1,0 +1,69 @@
+"""Query-Suggestion at scale: strategies x partitioners (mini Figure 9).
+
+Run with:  python examples/query_suggestion.py
+
+Generates a synthetic query log, runs the Query-Suggestion job under
+every combination of encoding strategy (Original / EagerSH / LazySH /
+AdaptiveSH) and partitioner (Hash / Prefix-5 / Prefix-1), and prints
+the total map output size of each — the paper's Figure 9.
+"""
+
+from repro import HashPartitioner, LocalJobRunner, enable_anti_combining, split_records
+from repro.analysis.report import format_table, human_bytes
+from repro.core.config import Strategy
+from repro.datagen.qlog import average_query_length, generate_query_log
+from repro.workloads.query_suggestion import (
+    PrefixPartitioner,
+    query_suggestion_job,
+)
+
+NUM_QUERIES = 2000
+
+
+def main() -> None:
+    log = generate_query_log(NUM_QUERIES, seed=42)
+    print(
+        f"query log: {NUM_QUERIES} queries, "
+        f"{len({q for _, q in log})} distinct, "
+        f"average length {average_query_length(log):.1f} chars"
+    )
+    splits = split_records(log, num_splits=8)
+    runner = LocalJobRunner()
+
+    partitioners = {
+        "Hash": HashPartitioner(),
+        "Prefix-5": PrefixPartitioner(5),
+        "Prefix-1": PrefixPartitioner(1),
+    }
+    strategies = {
+        "EagerSH": Strategy.EAGER,
+        "LazySH": Strategy.LAZY,
+        "AdaptiveSH": Strategy.ADAPTIVE,
+    }
+
+    rows = []
+    for part_name, partitioner in partitioners.items():
+        job = query_suggestion_job(num_reducers=8, partitioner=partitioner)
+        reference = runner.run(job, splits)
+        row = [part_name, human_bytes(reference.map_output_bytes)]
+        for strategy in strategies.values():
+            anti = enable_anti_combining(job, strategy=strategy)
+            result = runner.run(anti, splits)
+            assert result.sorted_output() == reference.sorted_output()
+            row.append(human_bytes(result.map_output_bytes))
+        rows.append(row)
+
+    print()
+    print("Total map output size (smaller is better):")
+    print(
+        format_table(
+            ["Partitioner", "Original", *strategies.keys()], rows
+        )
+    )
+    print()
+    print("Note how a sharing-aware partitioner (Prefix-1) multiplies")
+    print("Anti-Combining's savings — the paper's Section 7.2 finding.")
+
+
+if __name__ == "__main__":
+    main()

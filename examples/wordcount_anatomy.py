@@ -1,0 +1,103 @@
+"""Anatomy of an Anti-Combining run: WordCount under the microscope.
+
+Run with:  python examples/wordcount_anatomy.py
+
+Shows the knobs of the transformation (strategy, threshold T, Combiner
+flag C) and the internal counters they move: encoding mix, spills,
+Shared activity, and the CPU/disk ledger — a guided tour of the
+machinery the paper describes in Sections 3-6.
+"""
+
+from repro import LocalJobRunner, split_records, enable_anti_combining
+from repro.analysis.report import format_table, human_bytes
+from repro.core.config import Strategy
+from repro.datagen.randomtext import generate_random_text
+from repro.mr import counters as C
+from repro.workloads.wordcount import wordcount_job
+
+NUM_LINES = 800
+
+
+def describe(name: str, result) -> list:
+    counters = result.counters
+    return [
+        name,
+        result.map_output_records,
+        human_bytes(result.map_output_bytes),
+        human_bytes(result.disk_read_bytes + result.disk_write_bytes),
+        counters.get_int(C.MAP_SPILLS),
+        counters.get_int(C.ANTI_PLAIN_RECORDS),
+        counters.get_int(C.ANTI_EAGER_RECORDS),
+        counters.get_int(C.ANTI_LAZY_RECORDS),
+        counters.get_int(C.ANTI_SHARED_SPILLS),
+        f"{result.cpu_seconds:.3f}",
+    ]
+
+
+def main() -> None:
+    text = generate_random_text(
+        NUM_LINES, words_per_line=60, vocabulary_size=150, seed=1
+    )
+    splits = split_records(text, num_splits=8)
+    job = wordcount_job(
+        num_reducers=8, with_combiner=True, sort_buffer_bytes=64 * 1024
+    )
+    runner = LocalJobRunner()
+
+    configurations = {
+        "Original": job,
+        "EagerSH": enable_anti_combining(
+            job, strategy=Strategy.EAGER, use_map_combiner=True
+        ),
+        "LazySH": enable_anti_combining(
+            job, strategy=Strategy.LAZY, use_map_combiner=True
+        ),
+        "Adaptive (C=1)": enable_anti_combining(
+            job, use_map_combiner=True
+        ),
+        "Adaptive (C=0)": enable_anti_combining(
+            job, use_map_combiner=False
+        ),
+        "Adaptive (T=0)": enable_anti_combining(
+            job, threshold_t=0.0, use_map_combiner=True
+        ),
+    }
+
+    rows = []
+    reference = None
+    for name, conf in configurations.items():
+        result = runner.run(conf, splits)
+        if reference is None:
+            reference = result.sorted_output()
+        else:
+            assert result.sorted_output() == reference, name
+        rows.append(describe(name, result))
+
+    print(f"WordCount over {NUM_LINES} lines x ~60 words, 8 reducers\n")
+    print(
+        format_table(
+            [
+                "Configuration",
+                "MapRecs",
+                "MapBytes",
+                "LocalDisk",
+                "Spills",
+                "Plain",
+                "Eager",
+                "Lazy",
+                "ShSpill",
+                "CPU(s)",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("Things to notice (all outputs are identical):")
+    print(" * every variant cuts map records ~7x — fewer spills, less disk;")
+    print(" * T=0 forbids LazySH, so the Lazy column goes to zero;")
+    print(" * C=0 drops the map-phase Combiner yet Shared combining keeps")
+    print("   the reduce side in memory (ShSpill stays 0).")
+
+
+if __name__ == "__main__":
+    main()

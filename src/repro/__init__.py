@@ -1,0 +1,69 @@
+"""Reproduction of *Anti-Combining for MapReduce* (SIGMOD 2014).
+
+Public API overview
+-------------------
+
+The MapReduce substrate lives in :mod:`repro.mr` (job API, simulator
+engine, codecs, counters, runtime model).  The paper's contribution —
+the Anti-Combining program transformation — lives in :mod:`repro.core`
+and is enabled with one call::
+
+    from repro import JobConf, LocalJobRunner, enable_anti_combining
+
+    job = JobConf(mapper=MyMapper, reducer=MyReducer, num_reducers=8)
+    anti_job = enable_anti_combining(job)          # AdaptiveSH, T=inf
+    result = LocalJobRunner().run(anti_job, splits)
+
+Workloads from the paper's evaluation are in :mod:`repro.workloads`,
+synthetic stand-ins for its data sets in :mod:`repro.datagen`, and the
+per-table/figure experiment drivers in :mod:`repro.experiments`.
+"""
+
+from repro.core import (
+    AntiCombiningConfig,
+    Strategy,
+    enable_anti_combining,
+)
+from repro.mr import (
+    ClusterModel,
+    Combiner,
+    Comparator,
+    Context,
+    Counters,
+    HashPartitioner,
+    JobConf,
+    JobResult,
+    LocalJobRunner,
+    Mapper,
+    Partitioner,
+    Reducer,
+    available_codecs,
+    default_comparator,
+    get_codec,
+    split_records,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AntiCombiningConfig",
+    "ClusterModel",
+    "Combiner",
+    "Comparator",
+    "Context",
+    "Counters",
+    "HashPartitioner",
+    "JobConf",
+    "JobResult",
+    "LocalJobRunner",
+    "Mapper",
+    "Partitioner",
+    "Reducer",
+    "Strategy",
+    "available_codecs",
+    "default_comparator",
+    "enable_anti_combining",
+    "get_codec",
+    "split_records",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Result formatting and comparison helpers for the experiments."""
+
+from repro.analysis.report import (
+    ExperimentResult,
+    format_table,
+    human_bytes,
+    reduction_factor,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "human_bytes",
+    "reduction_factor",
+]

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro``.
+
+Commands:
+
+* ``python -m repro list`` — show every reproducible experiment with
+  its paper artefact and tunable parameters.
+* ``python -m repro run <experiment> [--param value ...]`` — run one
+  experiment and print its table.  Parameters are the driver function's
+  keyword arguments (``--num-queries 2000``, ``--num-reducers 4``, ...)
+  and are converted to the type of the parameter's default.
+* ``python -m repro run all`` — run everything at default scale.
+* ``python -m repro summary`` — aggregate the benchmark reports under
+  ``benchmarks/results/`` into one document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import pathlib
+import sys
+from typing import Any, Callable
+
+from repro.analysis.report import ExperimentResult
+from repro.experiments import (
+    run_ablation_crosscall,
+    run_ablation_granularity,
+    run_ablation_record_percent,
+    run_ablation_skew,
+    run_fig9,
+    run_hits_experiment,
+    run_knn_join_experiment,
+    run_multiquery_experiment,
+    run_similarity_join_experiment,
+    run_star_join_experiment,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_pagerank_experiment,
+    run_sec71,
+    run_table1,
+    run_table2,
+    run_wordcount_experiment,
+)
+
+#: Experiment registry: name -> (driver, paper artefact).
+EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
+    "fig9": (run_fig9, "Figure 9 — map output size, Query-Suggestion"),
+    "fig10": (run_fig10, "Figure 10 — with Combiner + compression"),
+    "table1": (run_table1, "Table 1 — codec cost breakdown"),
+    "table2": (run_table2, "Table 2 — Query-Suggestion cost breakdown"),
+    "fig11": (run_fig11, "Figure 11 — CPU vs extra Map work"),
+    "sec71": (run_sec71, "Section 7.1 — overhead on Sort"),
+    "wordcount": (run_wordcount_experiment, "Section 7.7.1 — WordCount"),
+    "pagerank": (run_pagerank_experiment, "Section 7.7.2 — PageRank"),
+    "fig12": (run_fig12, "Figure 12 — theta-join"),
+    "ablation-crosscall": (
+        run_ablation_crosscall,
+        "Ablation — cross-call EagerSH (paper Sec. 9 future work)",
+    ),
+    "ablation-granularity": (
+        run_ablation_granularity,
+        "Ablation — per-partition vs per-call decision",
+    ),
+    "ablation-skew": (run_ablation_skew, "Ablation — LazySH decode skew"),
+    "ablation-record-percent": (
+        run_ablation_record_percent,
+        "Ablation — record-metadata spill mechanism",
+    ),
+    "claim-similarity-join": (
+        run_similarity_join_experiment,
+        "Claim — set-similarity join (paper Sec. 1)",
+    ),
+    "claim-multiquery": (
+        run_multiquery_experiment,
+        "Claim — multi-query scan sharing (paper Sec. 1/8)",
+    ),
+    "claim-hits": (
+        run_hits_experiment,
+        "Claim — HITS graph algorithm (paper Sec. 1)",
+    ),
+    "claim-star-join": (
+        run_star_join_experiment,
+        "Claim — multi-way chain join (paper Sec. 1)",
+    ),
+    "claim-knn-join": (
+        run_knn_join_experiment,
+        "Claim — kNN join, H-BNLJ (paper Sec. 1)",
+    ),
+}
+
+
+def _tunable_params(fn: Callable[..., Any]) -> dict[str, Any]:
+    """The driver's keyword parameters and their defaults."""
+    return {
+        name: parameter.default
+        for name, parameter in inspect.signature(fn).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+        and isinstance(parameter.default, (int, float, str, bool))
+    }
+
+
+def _convert(raw: str, default: Any) -> Any:
+    """Convert a CLI string to the type of the parameter's default."""
+    if isinstance(default, bool):
+        if raw.lower() in ("1", "true", "yes", "on"):
+            return True
+        if raw.lower() in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"expected a boolean, got {raw!r}")
+    if isinstance(default, int):
+        return int(raw)
+    if isinstance(default, float):
+        return float(raw)
+    return raw
+
+
+def _parse_overrides(
+    pairs: list[str], fn: Callable[..., Any]
+) -> dict[str, Any]:
+    """Parse ``--key value`` pairs against the driver's signature."""
+    tunable = _tunable_params(fn)
+    overrides: dict[str, Any] = {}
+    index = 0
+    while index < len(pairs):
+        flag = pairs[index]
+        if not flag.startswith("--"):
+            raise ValueError(f"expected --param, got {flag!r}")
+        name = flag[2:].replace("-", "_")
+        if name not in tunable:
+            known = ", ".join(sorted(tunable))
+            raise ValueError(f"unknown parameter {flag!r}; known: {known}")
+        if index + 1 >= len(pairs):
+            raise ValueError(f"missing value for {flag!r}")
+        overrides[name] = _convert(pairs[index + 1], tunable[name])
+        index += 2
+    return overrides
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (fn, description) in EXPERIMENTS.items():
+        print(f"{name:<{width}}  {description}")
+        params = ", ".join(
+            f"--{key.replace('_', '-')} {value}"
+            for key, value in _tunable_params(fn).items()
+        )
+        print(f"{'':<{width}}    defaults: {params}")
+    return 0
+
+
+def _cmd_run(name: str, overrides: list[str]) -> int:
+    if name == "all":
+        for exp_name in EXPERIMENTS:
+            status = _cmd_run(exp_name, [])
+            if status:
+                return status
+            print()
+        return 0
+    if name not in EXPERIMENTS:
+        print(
+            f"unknown experiment {name!r}; run 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    fn, _ = EXPERIMENTS[name]
+    try:
+        kwargs = _parse_overrides(overrides, fn)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = fn(**kwargs)
+    print(result.report())
+    return 0
+
+
+def _cmd_summary(results_dir: str) -> int:
+    from repro.analysis.summary import collect_reports, render_summary
+
+    print(render_summary(collect_reports(pathlib.Path(results_dir))))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Anti-Combining for MapReduce' (SIGMOD 2014)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list reproducible experiments")
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment (or 'all')"
+    )
+    run_parser.add_argument("experiment", help="experiment name or 'all'")
+    run_parser.add_argument(
+        "overrides",
+        nargs=argparse.REMAINDER,
+        help="parameter overrides as --param value pairs",
+    )
+    summary_parser = subparsers.add_parser(
+        "summary", help="aggregate persisted benchmark reports"
+    )
+    summary_parser.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory holding the per-benchmark reports",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "summary":
+            return _cmd_summary(args.results_dir)
+        return _cmd_run(args.experiment, args.overrides)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""The spill-time Anti-Combiner (paper Sections 6.1–6.2, flag ``C``).
+
+When the user keeps the Combiner in the map phase (``C = 1``), the
+syntactic transformation wraps it too.  The wrapped combiner *decodes*
+the Anti-Combining-encoded records in the spill — "it decodes the
+Anti-Combining encoded records, i.e., undoes Anti-Combining" — applies
+the original Combine per decoded key group, and re-emits the combined
+records tagged PLAIN.
+
+This pays off exactly when the paper says it does: a highly effective
+Combiner (WordCount) reads far fewer records because the map output was
+encoded before it was buffered, and its output is small enough that
+losing the encoding is irrelevant.  A weak Combiner merely undoes the
+savings, which is why ``C = 0`` is the default.
+
+One instance handles one (spill, partition) pair: the
+:class:`~repro.mr.buffer.CombineRunner` brackets the partition's sorted
+groups with ``setup``/``cleanup``, giving the decode loop a complete
+ordered pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from repro.core import encoding
+from repro.core.anti_reducer import DecodeLoop
+from repro.core.runtime import AntiRuntime
+from repro.mr.api import Combiner, Context
+
+#: Distinguishes the Shared spill files of concurrent combiner instances.
+_instance_ids = itertools.count()
+
+
+class AntiCombiner(Combiner):
+    """Drop-in replacement for the original combiner class."""
+
+    def __init__(self, runtime: AntiRuntime):
+        self._runtime = runtime
+        self._o_combiner: Combiner | None = None
+        self._loop: DecodeLoop | None = None
+
+    def setup(self, context: Context) -> None:
+        runtime = self._runtime
+        assert runtime.combiner_factory is not None
+        self._o_combiner = runtime.combiner_factory()
+        self._o_combiner.setup(context)
+
+        def combine_target(
+            key: Any, values: Iterator[Any], ctx: Context
+        ) -> None:
+            # Re-tag the original combiner's output as PLAIN records so
+            # the reduce side can decode the (now unshared) stream.
+            assert self._o_combiner is not None
+            wrapped = ctx.with_sink(
+                lambda k, v: ctx.write(k, encoding.plain_value(v))
+            )
+            self._o_combiner.reduce(key, values, wrapped)
+
+        prefix = (
+            f"{context.task_id}/combine-shared/{next(_instance_ids)}"
+        )
+        # The decode loop uses a Shared without an inner combiner (the
+        # outer target already combines each group exactly once).
+        loop_runtime = AntiRuntime(
+            mapper_factory=runtime.mapper_factory,
+            reducer_factory=runtime.reducer_factory,
+            combiner_factory=None,
+            partitioner=runtime.partitioner,
+            num_reducers=runtime.num_reducers,
+            comparator=runtime.comparator,
+            grouping_comparator=runtime.grouping_comparator,
+            meter=runtime.meter,
+            config=runtime.config,
+        )
+        self._loop = DecodeLoop(
+            runtime=loop_runtime,
+            context=context,
+            target=combine_target,
+            shared_prefix=prefix,
+        )
+
+    def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
+        assert self._loop is not None, "setup() was not called"
+        self._loop.process_group(key, values, context)
+
+    def cleanup(self, context: Context) -> None:
+        assert self._loop is not None and self._o_combiner is not None
+        self._loop.drain_all(context)
+        self._o_combiner.cleanup(context)

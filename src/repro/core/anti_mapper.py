@@ -1,0 +1,287 @@
+"""The AntiMapper: per-call, per-partition adaptive encoding (Fig. 7).
+
+The AntiMapper wraps the original mapper as a black box.  Each ``map``
+call runs the original Map through an intercepting context, measures
+its cost and the cost of partitioning its output, and then encodes the
+output per partition:
+
+* **Strategy EAGER** — always EagerSH (group by value within the
+  partition; one record per group).
+* **Strategy LAZY** — always LazySH (one record per partition holding
+  the Map input).
+* **Strategy ADAPTIVE** — the paper's rule: if
+  ``(map_cost + partition_cost) * num_partitions > T`` the call is too
+  expensive to re-execute, so EagerSH is used everywhere; otherwise,
+  per partition, whichever of the EagerSH encoding and the LazySH
+  record is smaller (in serialised bytes) wins.
+
+EagerSH groups with no sharing degenerate to PLAIN records — the
+original record plus an encoding tag (paper Section 6.1: "the original
+program's unencoded output is a special case of EagerSH").
+
+CPU accounting note: the engine meters the whole (wrapped) ``map``
+call, so everything here — the original Map, the partition calls, the
+grouping — is charged to map CPU exactly once.  The internal meter
+measurements feed only the threshold decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import encoding
+from repro.core.config import Strategy
+from repro.core.runtime import AntiRuntime
+from repro.mr import counters as C
+from repro.mr import serde
+from repro.mr.api import Context, Mapper
+
+
+def _value_group_id(value: Any) -> Any:
+    """Dictionary identity for grouping records *by value*.
+
+    Values must group together exactly when their serialised forms are
+    identical.  Plain ``==`` is too coarse in Python (``1 == 1.0 ==
+    True`` but they serialise differently), so scalars are keyed by
+    ``(type, value)``; strings/bytes are safe as-is; everything else
+    (containers, unhashables) falls back to the serialised bytes.
+    """
+    kind = type(value)
+    if kind is str or kind is bytes:
+        return value
+    if kind is int or kind is float or kind is bool:
+        return (kind, value)
+    return serde.encode(value)
+
+
+class AntiMapper(Mapper):
+    """Drop-in replacement for the original mapper class."""
+
+    def __init__(self, runtime: AntiRuntime):
+        self._runtime = runtime
+        self._o_mapper: Mapper | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def setup(self, context: Context) -> None:
+        self._o_mapper = self._runtime.mapper_factory()
+        self._passthrough(self._o_mapper.setup, context)
+
+    def cleanup(self, context: Context) -> None:
+        assert self._o_mapper is not None
+        self._passthrough(self._o_mapper.cleanup, context)
+
+    def _passthrough(self, fn, context: Context) -> None:
+        """Run a lifecycle hook, forwarding any emissions as PLAIN.
+
+        Records emitted outside a ``map`` call (e.g. by the in-mapper
+        combining pattern's ``cleanup``) have no sharing context, so
+        they are tagged PLAIN and passed through unencoded.
+        """
+        emitted: list[tuple[Any, Any]] = []
+        capture = context.with_sink(lambda k, v: emitted.append((k, v)))
+        fn(capture)
+        for key, value in emitted:
+            context.counters.add(C.ANTI_PLAIN_RECORDS)
+            context.write(key, encoding.plain_value(value))
+
+    # -- the adaptive map ------------------------------------------------
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        assert self._o_mapper is not None, "setup() was not called"
+        runtime = self._runtime
+        emitted: list[tuple[Any, Any]] = []
+        capture = context.with_sink(lambda k, v: emitted.append((k, v)))
+        _, map_cost = runtime.meter.measure(
+            self._o_mapper.map, key, value, capture
+        )
+        if not emitted:
+            return
+
+        # Partition the original output.  The getPartition cost is
+        # measured on the first call and extrapolated, exactly the
+        # granularity of Figure 7's "cost of partition call".
+        get_partition = runtime.partitioner.get_partition
+        num_reducers = runtime.num_reducers
+        by_partition: dict[int, list[tuple[Any, Any]]] = {}
+        first_key = emitted[0][0]
+        first_partition, single_cost = runtime.meter.measure(
+            get_partition, first_key, num_reducers
+        )
+        partition_cost = single_cost * len(emitted)
+        by_partition[first_partition] = [emitted[0]]
+        for record in emitted[1:]:
+            partition = get_partition(record[0], num_reducers)
+            by_partition.setdefault(partition, []).append(record)
+
+        use_lazy_allowed = self._lazy_allowed(
+            map_cost, partition_cost, len(by_partition)
+        )
+        config = self._runtime.config
+        if (
+            config.strategy is Strategy.ADAPTIVE
+            and not config.per_partition_choice
+        ):
+            self._encode_call_level(
+                context, key, value, by_partition, use_lazy_allowed
+            )
+            return
+        for partition in sorted(by_partition):
+            records = by_partition[partition]
+            self._encode_partition(
+                context, key, value, records, use_lazy_allowed
+            )
+
+    def _lazy_allowed(
+        self, map_cost: float, partition_cost: float, num_partitions: int
+    ) -> bool:
+        """Apply the threshold rule of Figure 7 for this Map call."""
+        config = self._runtime.config
+        if config.strategy is Strategy.EAGER:
+            return False
+        if config.strategy is Strategy.LAZY:
+            return True
+        reexecution_cost = (map_cost + partition_cost) * num_partitions
+        return reexecution_cost <= config.threshold_t
+
+    def _encode_call_level(
+        self,
+        context: Context,
+        input_key: Any,
+        input_value: Any,
+        by_partition: dict[int, list[tuple[Any, Any]]],
+        lazy_allowed: bool,
+    ) -> None:
+        """Ablation mode: one eager-vs-lazy decision for the whole call.
+
+        Used when ``per_partition_choice`` is off; compares the *total*
+        encoded sizes across all partitions and applies the winner
+        uniformly, instead of the paper's finer per-partition choice.
+        """
+        eager_by_partition = {
+            partition: self._eager_encode(records)
+            for partition, records in by_partition.items()
+        }
+        if lazy_allowed:
+            total_eager = sum(
+                serde.approx_size(rep) + serde.approx_size(component)
+                for encoded in eager_by_partition.values()
+                for rep, component in encoded
+            )
+            lazy_component = encoding.lazy_value(input_key, input_value)
+            total_lazy = 0
+            for records in by_partition.values():
+                min_key = self._runtime.comparator.min(
+                    key for key, _ in records
+                )
+                total_lazy += serde.approx_size(min_key) + serde.approx_size(
+                    lazy_component
+                )
+            if total_lazy < total_eager:
+                for partition in sorted(by_partition):
+                    self._emit_lazy(
+                        context, input_key, input_value,
+                        by_partition[partition],
+                    )
+                return
+        for partition in sorted(eager_by_partition):
+            self._emit_eager(context, eager_by_partition[partition])
+
+    def _encode_partition(
+        self,
+        context: Context,
+        input_key: Any,
+        input_value: Any,
+        records: list[tuple[Any, Any]],
+        lazy_allowed: bool,
+    ) -> None:
+        """Emit the chosen encoding of one partition's output records."""
+        runtime = self._runtime
+        config = runtime.config
+        counters = context.counters
+
+        if config.strategy is Strategy.LAZY:
+            self._emit_lazy(context, input_key, input_value, records)
+            return
+
+        eager_records = self._eager_encode(records)
+        if config.strategy is Strategy.EAGER or not lazy_allowed:
+            self._emit_eager(context, eager_records)
+            return
+
+        # AdaptiveSH: compare (estimated) serialised sizes, eager vs
+        # lazy.  The estimate tracks the exact size within a few bytes
+        # at a fraction of the cost of a full serialisation pass.
+        eager_size = sum(
+            serde.approx_size(rep_key) + serde.approx_size(enc_value)
+            for rep_key, enc_value in eager_records
+        )
+        min_key = runtime.comparator.min(key for key, _ in records)
+        lazy_record = (
+            min_key,
+            encoding.lazy_value(input_key, input_value),
+        )
+        lazy_size = serde.approx_size(min_key) + serde.approx_size(
+            lazy_record[1]
+        )
+        if eager_size < lazy_size:
+            self._emit_eager(context, eager_records)
+        else:
+            counters.add(C.ANTI_LAZY_RECORDS)
+            context.write(*lazy_record)
+
+    def _eager_encode(
+        self, records: list[tuple[Any, Any]]
+    ) -> list[tuple[Any, tuple]]:
+        """EagerSH-encode one partition's records (Algorithm 1).
+
+        Records are grouped by value (via their serialised bytes, so
+        unhashable values work); each group becomes one record keyed by
+        its minimal key, carrying the remaining keys in the value
+        component.  Groups are emitted in representative-key order so
+        output is deterministic.
+        """
+        comparator = self._runtime.comparator
+        groups: dict[Any, tuple[Any, list[Any]]] = {}
+        for out_key, out_value in records:
+            group = groups.get(_value_group_id(out_value))
+            if group is not None:
+                group[1].append(out_key)
+            else:
+                groups[_value_group_id(out_value)] = (out_value, [out_key])
+        encoded: list[tuple[Any, tuple]] = []
+        for out_value, keys in groups.values():
+            ordered = comparator.sorted(keys)
+            rep_key, other_keys = ordered[0], ordered[1:]
+            if other_keys:
+                enc_value = encoding.eager_value(other_keys, out_value)
+            else:
+                enc_value = encoding.plain_value(out_value)
+            encoded.append((rep_key, enc_value))
+        if comparator.is_natural:
+            encoded.sort(key=lambda rec: rec[0])
+        else:
+            key_fn = comparator.key_fn()
+            encoded.sort(key=lambda rec: key_fn(rec[0]))
+        return encoded
+
+    def _emit_eager(
+        self, context: Context, eager_records: list[tuple[Any, tuple]]
+    ) -> None:
+        for rep_key, enc_value in eager_records:
+            if encoding.tag_of(enc_value) == encoding.PLAIN:
+                context.counters.add(C.ANTI_PLAIN_RECORDS)
+            else:
+                context.counters.add(C.ANTI_EAGER_RECORDS)
+            context.write(rep_key, enc_value)
+
+    def _emit_lazy(
+        self,
+        context: Context,
+        input_key: Any,
+        input_value: Any,
+        records: list[tuple[Any, Any]],
+    ) -> None:
+        min_key = self._runtime.comparator.min(key for key, _ in records)
+        context.counters.add(C.ANTI_LAZY_RECORDS)
+        context.write(
+            min_key, encoding.lazy_value(input_key, input_value)
+        )

@@ -1,0 +1,192 @@
+"""The AntiReducer: decoding and ordered re-delivery (Alg. 2/4, Fig. 8).
+
+The AntiReducer wraps the original reducer.  For every reduce call on a
+representative key it:
+
+1. drains ``Shared`` of any groups that sort strictly before the
+   current key (the paper's repeat-until loop), running the original
+   Reduce on each;
+2. decodes every incoming value component into ``Shared`` — EagerSH
+   records expand into their key/value pairs, LazySH records re-execute
+   the original Map and keep only the outputs assigned to this
+   partition;
+3. pops the current key's (fully decoded) group from ``Shared`` and
+   runs the original Reduce on it.
+
+``cleanup`` drains whatever is left in ``Shared`` (keys that only ever
+appeared inside encoded value components) before calling the original
+reducer's ``cleanup``.
+
+:class:`DecodeLoop` implements these steps generically so the
+spill-time Anti-Combiner (:mod:`repro.core.anti_combiner`) can reuse
+them with the original Combiner as the target.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.core import encoding
+from repro.core.runtime import AntiRuntime
+from repro.core.shared import Shared
+from repro.mr import counters as C
+from repro.mr.api import Context, Mapper, Reducer
+
+ReduceFn = Callable[[Any, Iterator[Any], Context], None]
+
+
+class DecodeError(RuntimeError):
+    """Decoding failed — usually a non-deterministic Map with LazySH."""
+
+
+def _discard_sink(key: Any, value: Any) -> None:
+    """Swallow emissions from lifecycle hooks of helper instances."""
+
+
+class DecodeLoop:
+    """The shared decode/drain machinery of AntiReducer and AntiCombiner."""
+
+    def __init__(
+        self,
+        runtime: AntiRuntime,
+        context: Context,
+        target: ReduceFn,
+        shared_prefix: str,
+    ):
+        if context.store is None:
+            raise DecodeError("decoding requires a task-local store")
+        if context.partition is None:
+            raise DecodeError("decoding requires the task's partition number")
+        self._runtime = runtime
+        self._context = context
+        self._target = target
+        self._partition = context.partition
+        # A private original-mapper instance for LazySH re-execution
+        # (paper Fig. 8: "Decoding for LazySH calls o_mapper.map").
+        self._o_mapper: Mapper = runtime.mapper_factory()
+        self._o_mapper.setup(context.with_sink(_discard_sink))
+        combiner = None
+        if (
+            runtime.combiner_factory is not None
+            and runtime.config.use_shared_combiner
+        ):
+            combiner = runtime.combiner_factory()
+            combiner.setup(context.with_sink(_discard_sink))
+        self._shared_combiner = combiner
+        self.shared = Shared(
+            comparator=runtime.comparator,
+            grouping_comparator=runtime.grouping_comparator,
+            store=context.store,
+            counters=context.counters,
+            memory_limit_bytes=runtime.config.shared_memory_bytes,
+            merge_threshold=runtime.config.shared_merge_threshold,
+            combiner=combiner,
+            combine_context=context if combiner is not None else None,
+            name_prefix=shared_prefix,
+        )
+
+    # -- the three steps ---------------------------------------------------
+    def drain_below(self, key: Any, context: Context) -> None:
+        """Reduce every Shared group sorting strictly before ``key``."""
+        grouping = self._runtime.grouping_comparator
+        while True:
+            alt_key = self.shared.peek_min_key()
+            if alt_key is None or grouping.cmp(alt_key, key) >= 0:
+                return
+            rep_key, values = self.shared.pop_min_key_values()
+            self._target(rep_key, iter(values), context)
+
+    def decode_values(
+        self, rep_key: Any, values: Iterator[Any], context: Context
+    ) -> None:
+        """Decode one group's encoded value components into Shared."""
+        shared = self.shared
+        for component in values:
+            tag = encoding.tag_of(component)
+            if tag == encoding.PLAIN:
+                shared.add(rep_key, encoding.plain_payload(component))
+            elif tag == encoding.EAGER:
+                other_keys, value = encoding.eager_payload(component)
+                shared.add(rep_key, value)
+                for key in other_keys:
+                    shared.add(key, value)
+            else:  # LAZY
+                input_key, input_value = encoding.lazy_payload(component)
+                self._reexecute_map(input_key, input_value, context)
+
+    def _reexecute_map(
+        self, input_key: Any, input_value: Any, context: Context
+    ) -> None:
+        """Run the original Map, keeping this partition's outputs."""
+        runtime = self._runtime
+        emitted: list[tuple[Any, Any]] = []
+        capture = context.with_sink(lambda k, v: emitted.append((k, v)))
+        self._o_mapper.map(input_key, input_value, capture)
+        context.counters.add(C.ANTI_REDUCE_MAP_REEXECUTIONS)
+        matched = False
+        for key, value in emitted:
+            if runtime.get_partition(key) == self._partition:
+                self.shared.add(key, value)
+                matched = True
+        if not matched:
+            raise DecodeError(
+                "LazySH re-execution produced no record for partition "
+                f"{self._partition}; the Map or Partition function is "
+                "non-deterministic — set T=0 (Strategy.EAGER) for this job"
+            )
+
+    def reduce_current(self, rep_key: Any, context: Context) -> None:
+        """Run the target on the current (decoded) group."""
+        grouping = self._runtime.grouping_comparator
+        min_key = self.shared.peek_min_key()
+        if min_key is None or grouping.cmp(min_key, rep_key) != 0:
+            raise DecodeError(
+                f"decoded group for key {rep_key!r} is missing; the Map "
+                "or Partition function is non-deterministic"
+            )
+        popped_key, decoded = self.shared.pop_min_key_values()
+        self._target(popped_key, iter(decoded), context)
+
+    def process_group(
+        self, rep_key: Any, values: Iterator[Any], context: Context
+    ) -> None:
+        """Steps 1–3 for one incoming encoded group."""
+        self.drain_below(rep_key, context)
+        self.decode_values(rep_key, values, context)
+        self.reduce_current(rep_key, context)
+
+    def drain_all(self, context: Context) -> None:
+        """Reduce every remaining Shared group (task cleanup)."""
+        for rep_key, values in self.shared.drain():
+            self._target(rep_key, iter(values), context)
+        self._o_mapper.cleanup(context.with_sink(_discard_sink))
+        if self._shared_combiner is not None:
+            self._shared_combiner.cleanup(context.with_sink(_discard_sink))
+
+
+class AntiReducer(Reducer):
+    """Drop-in replacement for the original reducer class (Fig. 8)."""
+
+    def __init__(self, runtime: AntiRuntime):
+        self._runtime = runtime
+        self._o_reducer: Reducer | None = None
+        self._loop: DecodeLoop | None = None
+
+    def setup(self, context: Context) -> None:
+        self._o_reducer = self._runtime.reducer_factory()
+        self._o_reducer.setup(context)
+        self._loop = DecodeLoop(
+            runtime=self._runtime,
+            context=context,
+            target=self._o_reducer.reduce,
+            shared_prefix=f"{context.task_id}/shared",
+        )
+
+    def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
+        assert self._loop is not None, "setup() was not called"
+        self._loop.process_group(key, values, context)
+
+    def cleanup(self, context: Context) -> None:
+        assert self._loop is not None and self._o_reducer is not None
+        self._loop.drain_all(context)
+        self._o_reducer.cleanup(context)

@@ -1,0 +1,299 @@
+"""The reduce-task-level ``Shared`` data structure (paper Section 5).
+
+``Shared`` carries decoded key/value pairs from the Reduce call that
+decoded them to the later Reduce calls that need them.  It maintains:
+
+* a **min-heap** over keys, so ``peek_min_key`` is O(1) and pops happen
+  in ascending key order (Reduce-call order);
+* an **in-memory hash table** mapping keys to their value lists;
+* **sorted spill runs** on the task's local disk: when the memory
+  budget is exceeded, the in-memory content is drained in key order to
+  a run, and runs are merged when their number exceeds the merge
+  threshold — mirroring the map phase's spill/merge machinery.  Because
+  pops always take the *minimal* key, runs are only ever read by
+  buffered sequential scans, never random access.
+
+When the job has a Combiner, ``Shared`` can fold values per key as they
+are added ("Using Combine in the Reduce Phase"), which shrinks memory
+and often avoids spilling entirely — the effect Table 2's
+``AdaptiveSH-CB`` row reports.
+
+Keys are identified by value (hashable keys directly, unhashable ones
+by their serialised bytes), so any serialisable key works; key *order*
+always comes from the job's sort comparator and key *grouping* from the
+grouping comparator (Section 6.1's grouping comparator requirement).
+The grouping comparator must be a consistent coarsening of the sort
+comparator — and keys that compare equal with ``==`` must be
+grouping-equal — as in Hadoop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+from repro.mr import counters as C
+from repro.mr import serde
+from repro.mr.api import Combiner, Context
+from repro.mr.comparators import Comparator
+from repro.mr.counters import Counters
+from repro.mr.storage import LocalStore, SpillWriter
+
+
+class _Entry:
+    """In-memory state for one key."""
+
+    __slots__ = ("key", "values", "nbytes")
+
+    def __init__(self, key: Any, values: list, nbytes: int):
+        self.key = key
+        self.values = values
+        self.nbytes = nbytes
+
+
+class _Run:
+    """Sequential reader over one sorted spill run, with a head record."""
+
+    def __init__(self, records: Iterator[tuple[Any, Any]], name: str):
+        self._records = records
+        self.name = name
+        self._head: tuple[Any, Any] | None = None
+        self._advance()
+
+    def _advance(self) -> None:
+        self._head = next(self._records, None)
+
+    @property
+    def head_key(self) -> Any:
+        return None if self._head is None else self._head[0]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._head is None
+
+    def pop_group(
+        self, rep_key: Any, grouping: Comparator
+    ) -> list[tuple[Any, Any]]:
+        """Pop all leading records grouping-equal to ``rep_key``."""
+        popped: list[tuple[Any, Any]] = []
+        while self._head is not None and grouping.cmp(self._head[0], rep_key) == 0:
+            popped.append(self._head)
+            self._advance()
+        return popped
+
+    def drain(self) -> Iterator[tuple[Any, Any]]:
+        """Yield every remaining record (used when merging runs)."""
+        while self._head is not None:
+            record = self._head
+            self._advance()
+            yield record
+
+
+class Shared:
+    """Decoded-record buffer shared by all Reduce calls of one task."""
+
+    def __init__(
+        self,
+        comparator: Comparator,
+        grouping_comparator: Comparator,
+        store: LocalStore,
+        counters: Counters,
+        memory_limit_bytes: int = 4 * 1024 * 1024,
+        merge_threshold: int = 10,
+        combiner: Combiner | None = None,
+        combine_context: Context | None = None,
+        name_prefix: str = "shared",
+        combine_batch_size: int = 16,
+    ):
+        if combiner is not None and combine_context is None:
+            raise ValueError("a combiner requires a combine_context")
+        if combine_batch_size < 2:
+            raise ValueError("combine_batch_size must be >= 2")
+        self._comparator = comparator
+        self._grouping = grouping_comparator
+        self._store = store
+        self._counters = counters
+        self._memory_limit = memory_limit_bytes
+        self._merge_threshold = merge_threshold
+        self._combiner = combiner
+        self._combine_context = combine_context
+        self._combine_batch_size = combine_batch_size
+        self._name_prefix = name_prefix
+        self._key_fn: Callable[[Any], Any] = comparator.key_fn()
+        self._heap: list[Any] = []  # cmp_to_key wrappers; .obj is the key
+        self._table: dict[Any, _Entry] = {}
+        self._mem_bytes = 0
+        self._runs: list[_Run] = []
+        self._spill_count = 0
+
+    @staticmethod
+    def _key_id(key: Any) -> Any:
+        """Hash-table identity for a key.
+
+        Hashable keys are used directly; unhashable (e.g. list-valued)
+        keys fall back to their serialised bytes.
+        """
+        try:
+            hash(key)
+        except TypeError:
+            return serde.encode(key)
+        return key
+
+    # -- inserting -------------------------------------------------------
+    def add(self, key: Any, value: Any) -> None:
+        """Store one decoded pair (paper's ``Shared.add``)."""
+        key_id = self._key_id(key)
+        size = serde.approx_size(key) + serde.approx_size(value)
+        entry = self._table.get(key_id)
+        if entry is None:
+            self._table[key_id] = _Entry(key, [value], size)
+            heapq.heappush(self._heap, self._key_fn(key))
+            self._mem_bytes += size
+        else:
+            entry.values.append(value)
+            entry.nbytes += size
+            self._mem_bytes += size
+            if (
+                self._combiner is not None
+                and len(entry.values) >= self._combine_batch_size
+            ):
+                self._combine_entry(entry)
+        if self._mem_bytes > self._memory_limit:
+            if self._combiner is not None:
+                # Combine everything first; that alone often frees
+                # enough memory to avoid the spill (Section 5).
+                self._combine_all()
+            if self._mem_bytes > self._memory_limit:
+                self._spill()
+
+    def _combine_entry(self, entry: _Entry) -> None:
+        """Fold one entry's value list with the original Combiner.
+
+        If the Combiner emits exactly one record whose key stays in the
+        same group, the entry keeps the single combined value;
+        otherwise the raw values are kept (the Combiner contract was
+        violated, so combining is skipped for safety).  Folding runs in
+        batches rather than per add — like Hadoop's in-memory combine —
+        so the Combiner cost stays amortised.
+        """
+        assert self._combine_context is not None
+        if len(entry.values) < 2:
+            return
+        emitted: list[tuple[Any, Any]] = []
+        capture = self._combine_context.with_sink(
+            lambda k, v: emitted.append((k, v))
+        )
+        self._combiner.reduce(entry.key, iter(entry.values), capture)
+        if (
+            len(emitted) != 1
+            or self._grouping.cmp(emitted[0][0], entry.key) != 0
+        ):
+            return
+        old_bytes = entry.nbytes
+        entry.values = [emitted[0][1]]
+        entry.nbytes = serde.approx_size(entry.key) + serde.approx_size(
+            entry.values[0]
+        )
+        self._mem_bytes += entry.nbytes - old_bytes
+
+    def _combine_all(self) -> None:
+        """Fold every multi-value entry (pre-spill compaction)."""
+        for entry in self._table.values():
+            if len(entry.values) > 1:
+                self._combine_entry(entry)
+
+    # -- reading ---------------------------------------------------------
+    def peek_min_key(self) -> Any:
+        """The minimal stored key, or ``None`` when empty."""
+        best: Any = None
+        have_best = False
+        if self._heap:
+            best = self._heap[0].obj
+            have_best = True
+        for run in self._runs:
+            if run.exhausted:
+                continue
+            if not have_best or self._comparator.cmp(run.head_key, best) < 0:
+                best = run.head_key
+                have_best = True
+        return best if have_best else None
+
+    def pop_min_key_values(self) -> tuple[Any, list]:
+        """Remove and return ``(min_key, values)`` for the minimal group.
+
+        All stored keys grouping-equal to the minimal key are removed;
+        their values are returned in sort-key order (the order the
+        original reduce call would have seen under secondary sort).
+        """
+        rep_key = self.peek_min_key()
+        if rep_key is None:
+            raise KeyError("pop_min_key_values on empty Shared")
+        collected: list[tuple[Any, list]] = []  # (sort-wrapper, values)
+        while self._heap and self._grouping.cmp(self._heap[0].obj, rep_key) == 0:
+            wrapper = heapq.heappop(self._heap)
+            entry = self._table.pop(self._key_id(wrapper.obj))
+            self._mem_bytes -= entry.nbytes
+            collected.append((wrapper, entry.values))
+        for run in self._runs:
+            for key, value in run.pop_group(rep_key, self._grouping):
+                collected.append((self._key_fn(key), [value]))
+        self._runs = [run for run in self._runs if not run.exhausted]
+        collected.sort(key=lambda item: item[0])
+        values = [value for _, group in collected for value in group]
+        return rep_key, values
+
+    def drain(self) -> Iterator[tuple[Any, list]]:
+        """Pop every remaining group in ascending key order."""
+        while not self.is_empty():
+            yield self.pop_min_key_values()
+
+    def is_empty(self) -> bool:
+        return not self._heap and all(run.exhausted for run in self._runs)
+
+    def __len__(self) -> int:
+        """Number of distinct in-memory keys (spilled keys not counted)."""
+        return len(self._table)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._mem_bytes
+
+    @property
+    def spill_count(self) -> int:
+        return self._spill_count
+
+    # -- spilling --------------------------------------------------------
+    def _spill(self) -> None:
+        """Drain the in-memory table to a sorted run on local disk."""
+        if not self._table:
+            return
+        name = f"{self._name_prefix}/run{self._spill_count}"
+        self._spill_count += 1
+        writer = SpillWriter(self._store, name)
+        while self._heap:
+            wrapper = heapq.heappop(self._heap)
+            entry = self._table.pop(self._key_id(wrapper.obj))
+            for value in entry.values:
+                writer.append(entry.key, value)
+        spill_file = writer.close()
+        self._counters.add(C.ANTI_SHARED_SPILLS)
+        self._counters.add(C.ANTI_SHARED_SPILLED_BYTES, spill_file.size_bytes)
+        self._mem_bytes = 0
+        self._runs.append(_Run(spill_file.scan(), name))
+        if len(self._runs) > self._merge_threshold:
+            self._merge_runs()
+
+    def _merge_runs(self) -> None:
+        """Merge all runs into one, mirroring map-side spill merging."""
+        name = f"{self._name_prefix}/merge{self._spill_count}"
+        writer = SpillWriter(self._store, name)
+        streams = [run.drain() for run in self._runs]
+        merged = heapq.merge(
+            *streams, key=lambda record: self._key_fn(record[0])
+        )
+        for key, value in merged:
+            writer.append(key, value)
+        for run in self._runs:
+            self._store.delete_file(run.name)
+        spill_file = writer.close()
+        self._runs = [_Run(spill_file.scan(), name)]

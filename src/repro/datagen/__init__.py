@@ -1,0 +1,22 @@
+"""Synthetic stand-ins for the paper's data sets (Section 7).
+
+The paper's data — a proprietary search-engine query log (QLog),
+ClueWeb09, NOAA ship/station cloud reports, and 360 GB of random text —
+is not available here, so each generator synthesises the *properties
+Anti-Combining interacts with*: key/value sharing structure, skew, and
+record shapes.  All generators are deterministic given a seed.
+"""
+
+from repro.datagen.cloud import generate_cloud_reports
+from repro.datagen.qlog import generate_query_log
+from repro.datagen.randomtext import generate_random_text
+from repro.datagen.webgraph import generate_web_graph
+from repro.datagen.zipf import ZipfSampler
+
+__all__ = [
+    "ZipfSampler",
+    "generate_cloud_reports",
+    "generate_query_log",
+    "generate_random_text",
+    "generate_web_graph",
+]

@@ -1,0 +1,52 @@
+"""2-D point sets for the kNN-join workload.
+
+Data points cluster around a handful of centres (spatial data is never
+uniform); query points mix cluster members and outliers, so both dense
+and sparse neighbourhoods are exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.workloads.knnjoin import DATA_TAG, QUERY_TAG
+
+
+def generate_points(
+    num_data: int,
+    num_queries: int,
+    num_clusters: int = 5,
+    spread: float = 0.05,
+    seed: int = 42,
+) -> list[tuple[Any, tuple]]:
+    """Generate tagged point records for :mod:`repro.workloads.knnjoin`.
+
+    Returns ``(point_id, (tag, (x, y)))`` records; data ids are
+    ``d<i>``, query ids ``q<i>``.  Coordinates live in [0, 1)^2 and
+    are rounded so serialisation is stable.
+    """
+    if num_data < 1 or num_queries < 1:
+        raise ValueError("num_data and num_queries must be >= 1")
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be >= 1")
+    rng = random.Random(seed)
+    centres = [
+        (rng.random(), rng.random()) for _ in range(num_clusters)
+    ]
+
+    def sample_point() -> tuple[float, float]:
+        if rng.random() < 0.85:
+            cx, cy = centres[rng.randrange(num_clusters)]
+            x = min(0.999999, max(0.0, rng.gauss(cx, spread)))
+            y = min(0.999999, max(0.0, rng.gauss(cy, spread)))
+        else:
+            x, y = rng.random(), rng.random()
+        return round(x, 6), round(y, 6)
+
+    records: list[tuple[Any, tuple]] = []
+    for index in range(num_data):
+        records.append((f"d{index}", (DATA_TAG, sample_point())))
+    for index in range(num_queries):
+        records.append((f"q{index}", (QUERY_TAG, sample_point())))
+    return records

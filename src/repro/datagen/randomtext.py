@@ -1,0 +1,75 @@
+"""Random text: the stand-in for the paper's 360 GB RandomText set.
+
+Used by the Sort overhead experiment (Section 7.1) and WordCount
+(Section 7.7.1).  Lines are sequences of words drawn Zipf-style from a
+bounded vocabulary — like Hadoop's RandomTextWriter — so WordCount's
+Combiner is highly effective (few distinct words, many occurrences),
+which is the regime Section 7.7.1 studies.
+
+Records come out TextInputFormat-style: ``(byte_offset, line)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.zipf import ZipfSampler
+
+_ONSETS = "b bl br c ch cl cr d dr f fl fr g gl gr h j k l m n p pl pr qu r s sc sh sk sl sm sn sp st str t th tr v w".split()
+_VOWELS = "a e i o u ai ea ee oa oo".split()
+_CODAS = " b ck d g l ll m n nd ng nk nt p r rd rk rn rt s sh st t th".split()
+
+
+def _build_vocabulary(size: int) -> list[str]:
+    """Deterministic pronounceable vocabulary of ``size`` words.
+
+    Hadoop's RandomTextWriter draws from a fixed multi-thousand-word
+    list; enumerating onset x vowel x coda syllables (and two-syllable
+    compounds for large sizes) gives the same effect without shipping a
+    dictionary.
+    """
+    words: list[str] = []
+    for onset in _ONSETS:
+        for vowel in _VOWELS:
+            for coda in _CODAS:
+                words.append((onset + vowel + coda).strip())
+                if len(words) >= size:
+                    return words
+    base = list(words)
+    for first in base:  # pragma: no cover - only for huge vocabularies
+        for second in base:
+            words.append(first + second)
+            if len(words) >= size:
+                return words
+    raise ValueError(f"cannot build a vocabulary of {size} words")
+
+
+def generate_random_text(
+    num_lines: int,
+    words_per_line: int = 10,
+    vocabulary_size: int = 1000,
+    zipf_s: float = 0.8,
+    seed: int = 42,
+) -> list[tuple[int, str]]:
+    """Generate ``(byte_offset, line)`` records of random text."""
+    if num_lines < 1:
+        raise ValueError("num_lines must be >= 1")
+    if words_per_line < 1:
+        raise ValueError("words_per_line must be >= 1")
+    if vocabulary_size < 1:
+        raise ValueError("vocabulary_size must be >= 1")
+    vocabulary = _build_vocabulary(vocabulary_size)
+    rng = random.Random(seed)
+    sampler = ZipfSampler(len(vocabulary), s=zipf_s, seed=seed + 1)
+    jitter = max(1, words_per_line // 3)
+
+    records: list[tuple[int, str]] = []
+    offset = 0
+    for _ in range(num_lines):
+        count = words_per_line + rng.randint(-jitter, jitter)
+        line = " ".join(
+            vocabulary[sampler.sample()] for _ in range(max(1, count))
+        )
+        records.append((offset, line))
+        offset += len(line) + 1
+    return records

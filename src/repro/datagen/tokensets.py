@@ -1,0 +1,59 @@
+"""Token-set records for the set-similarity join workload.
+
+Models deduplication-style inputs (titles, addresses, citations): most
+records are unrelated, but a controlled fraction are *near-duplicates*
+of an earlier record (a few tokens changed), so a similarity self-join
+at a high Jaccard threshold has a meaningful, known-to-exist answer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.zipf import ZipfSampler
+
+_TOKEN_POOL_SIZE = 300
+
+
+def _token(index: int) -> str:
+    return f"tok{index:03d}"
+
+
+def generate_token_sets(
+    num_records: int,
+    set_size: int = 8,
+    duplicate_fraction: float = 0.3,
+    mutation_tokens: int = 1,
+    seed: int = 42,
+) -> list[tuple[int, list[str]]]:
+    """Generate ``(record_id, tokens)`` records with near-duplicates.
+
+    ``duplicate_fraction`` of the records are copies of an earlier
+    record with ``mutation_tokens`` tokens replaced; the rest are drawn
+    fresh from a Zipfian token distribution.
+    """
+    if num_records < 1:
+        raise ValueError("num_records must be >= 1")
+    if set_size < 2:
+        raise ValueError("set_size must be >= 2")
+    if not 0 <= duplicate_fraction < 1:
+        raise ValueError("duplicate_fraction must be in [0, 1)")
+    if not 0 <= mutation_tokens < set_size:
+        raise ValueError("mutation_tokens must be < set_size")
+
+    rng = random.Random(seed)
+    sampler = ZipfSampler(_TOKEN_POOL_SIZE, s=0.6, seed=seed + 1)
+    records: list[tuple[int, list[str]]] = []
+    for record_id in range(num_records):
+        if records and rng.random() < duplicate_fraction:
+            _, source = records[rng.randrange(len(records))]
+            tokens = set(source)
+            for _ in range(mutation_tokens):
+                tokens.discard(rng.choice(sorted(tokens)))
+                tokens.add(_token(sampler.sample()))
+        else:
+            tokens = set()
+            while len(tokens) < set_size:
+                tokens.add(_token(sampler.sample()))
+        records.append((record_id, sorted(tokens)))
+    return records

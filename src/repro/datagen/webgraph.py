@@ -1,0 +1,69 @@
+"""Synthetic power-law web graph: the stand-in for ClueWeb09.
+
+PageRank's Anti-Combining opportunity is "the same contribution value
+sent to out-degree many distinct keys", and its magnitude depends on
+out-degree skew ("as graphs tend to be very skewed", Section 1).  The
+generator draws each node's out-degree from a Zipf distribution and its
+targets with preferential attachment flavour (popular nodes attract
+more in-links), matching the shape of a web crawl.
+
+Records come out in PageRank input format:
+``(node_id, (initial_rank, [neighbor_ids...]))``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.zipf import ZipfSampler
+
+
+def generate_web_graph(
+    num_nodes: int,
+    avg_out_degree: float = 8.0,
+    degree_skew: float = 1.2,
+    seed: int = 42,
+    max_out_degree: int | None = None,
+) -> list[tuple[int, tuple[float, list[int]]]]:
+    """Generate ``(node, (rank0, neighbors))`` records for PageRank."""
+    if num_nodes < 2:
+        raise ValueError("num_nodes must be >= 2")
+    if avg_out_degree <= 0:
+        raise ValueError("avg_out_degree must be > 0")
+    rng = random.Random(seed)
+    if max_out_degree is None:
+        max_out_degree = max(2, int(avg_out_degree * 12))
+
+    # Zipf-distributed out-degrees, rescaled to hit the requested mean.
+    degree_sampler = ZipfSampler(max_out_degree, s=degree_skew, seed=seed + 1)
+    raw_degrees = [degree_sampler.sample() + 1 for _ in range(num_nodes)]
+    scale = avg_out_degree * num_nodes / max(1, sum(raw_degrees))
+    degrees = [
+        max(0, min(num_nodes - 1, round(degree * scale)))
+        for degree in raw_degrees
+    ]
+
+    # Preferential-attachment-flavoured target choice: a Zipf over a
+    # random permutation of nodes, so a few nodes have huge in-degree.
+    popularity = ZipfSampler(num_nodes, s=0.8, seed=seed + 2)
+    permutation = list(range(num_nodes))
+    rng.shuffle(permutation)
+
+    initial_rank = 1.0 / num_nodes
+    graph: list[tuple[int, tuple[float, list[int]]]] = []
+    for node in range(num_nodes):
+        targets: set[int] = set()
+        wanted = degrees[node]
+        attempts = 0
+        while len(targets) < wanted and attempts < wanted * 4:
+            candidate = permutation[popularity.sample()]
+            attempts += 1
+            if candidate != node:
+                targets.add(candidate)
+        graph.append((node, (initial_rank, sorted(targets))))
+    return graph
+
+
+def total_edges(graph: list[tuple[int, tuple[float, list[int]]]]) -> int:
+    """Number of directed edges in a generated graph."""
+    return sum(len(neighbors) for _, (_, neighbors) in graph)

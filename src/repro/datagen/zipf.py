@@ -1,0 +1,42 @@
+"""A small, deterministic Zipf sampler shared by the data generators.
+
+Real query logs, web graphs and word frequencies are all heavy-tailed;
+a Zipf(s) distribution over ranked items is the standard model.  The
+sampler precomputes the CDF once and draws by binary search, so it is
+fast enough to generate hundreds of thousands of records.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+class ZipfSampler:
+    """Draw ranks in ``[0, n)`` with probability proportional to 1/(r+1)^s."""
+
+    def __init__(self, n: int, s: float = 1.0, seed: int = 0):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if s < 0:
+            raise ValueError("s must be >= 0")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float drift
+        self._cdf = cumulative
+
+    def sample(self) -> int:
+        """One rank, drawn from the Zipf distribution."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def sample_many(self, count: int) -> list[int]:
+        """``count`` independent draws."""
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,55 @@
+"""Experiment drivers: one per table/figure of the paper's Section 7.
+
+Each driver is a pure function from scale parameters to an
+:class:`~repro.analysis.report.ExperimentResult`; the benchmark harness
+in ``benchmarks/`` runs them and prints their tables, and
+``EXPERIMENTS.md`` records measured-vs-paper outcomes.
+"""
+
+from repro.experiments.ablations import (
+    run_ablation_crosscall,
+    run_ablation_granularity,
+    run_ablation_record_percent,
+    run_ablation_skew,
+)
+from repro.experiments.claims import (
+    run_hits_experiment,
+    run_knn_join_experiment,
+    run_multiquery_experiment,
+    run_similarity_join_experiment,
+    run_star_join_experiment,
+)
+from repro.experiments.common import MeasuredRun, measure_job, strategy_variants
+from repro.experiments.fig09_map_output import run_fig9
+from repro.experiments.fig10_compression import run_fig10
+from repro.experiments.fig11_cpu_threshold import run_fig11
+from repro.experiments.fig12_thetajoin import run_fig12
+from repro.experiments.sec71_overhead import run_sec71
+from repro.experiments.sec771_wordcount import run_wordcount_experiment
+from repro.experiments.sec772_pagerank import run_pagerank_experiment
+from repro.experiments.table1_codecs import run_table1
+from repro.experiments.table2_breakdown import run_table2
+
+__all__ = [
+    "MeasuredRun",
+    "measure_job",
+    "run_ablation_crosscall",
+    "run_ablation_granularity",
+    "run_ablation_record_percent",
+    "run_ablation_skew",
+    "run_fig9",
+    "run_fig10",
+    "run_hits_experiment",
+    "run_knn_join_experiment",
+    "run_multiquery_experiment",
+    "run_similarity_join_experiment",
+    "run_star_join_experiment",
+    "run_fig11",
+    "run_fig12",
+    "run_pagerank_experiment",
+    "run_sec71",
+    "run_table1",
+    "run_table2",
+    "run_wordcount_experiment",
+    "strategy_variants",
+]

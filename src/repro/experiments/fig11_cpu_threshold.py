@@ -1,0 +1,96 @@
+"""Figure 11: total CPU time under runtime cost-based optimisation.
+
+The Map function of Query-Suggestion gets ``x`` units of extra
+Fibonacci busy work per call (Section 7.6).  Four configurations are
+tracked as ``x`` grows:
+
+* **Original** — no Anti-Combining: CPU grows linearly in ``x``.
+* **Adaptive-0** — ``T = 0``: pure EagerSH; Map never re-executes, so
+  its CPU curve stays parallel to Original's.
+* **Adaptive-inf** — ``T = inf``: free choice by size; LazySH
+  re-executions make CPU grow with a *steeper* slope, overtaking
+  Adaptive-0 as ``x`` grows.
+* **Adaptive-alpha** — a finite threshold (the paper used 400 us):
+  follows Adaptive-inf while Map is cheap, then converges to
+  Adaptive-0 once re-execution would exceed ``T``.
+
+Real CPU is measured (the busy work actually runs), so this experiment
+is the one place where the suite is wall-clock sensitive; the shape is
+robust even if absolute numbers wobble.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.core.transform import enable_anti_combining
+from repro.datagen.qlog import generate_query_log
+from repro.experiments.common import measure_job
+from repro.mr.split import split_records
+from repro.workloads.busywork import busywork_mapper_factory
+from repro.workloads.query_suggestion import (
+    PrefixPartitioner,
+    QuerySuggestionMapper,
+    query_suggestion_job,
+)
+
+CONFIGURATIONS = ("Original", "Adaptive-0", "Adaptive-inf", "Adaptive-alpha")
+
+
+def run_fig11(
+    num_queries: int = 1200,
+    num_reducers: int = 4,
+    num_splits: int = 4,
+    seed: int = 42,
+    work_levels: tuple[int, ...] = (0, 2, 4, 8, 12, 16),
+    alpha_seconds: float = 400e-6,
+    iterations_per_unit: int = 1000,
+) -> ExperimentResult:
+    """Reproduce Figure 11 (CPU seconds per extra-work level)."""
+    records = generate_query_log(num_queries, seed=seed)
+    splits = split_records(records, num_splits=num_splits)
+
+    rows = []
+    for level in work_levels:
+        mapper = busywork_mapper_factory(
+            QuerySuggestionMapper, level, iterations_per_unit
+        )
+        job = query_suggestion_job(
+            num_reducers=num_reducers, partitioner=PrefixPartitioner(5)
+        ).clone(mapper=mapper, name=f"qs-busy{level}")
+        variants = {
+            "Original": job,
+            "Adaptive-0": enable_anti_combining(job, threshold_t=0.0),
+            "Adaptive-inf": enable_anti_combining(job),
+            "Adaptive-alpha": enable_anti_combining(
+                job, threshold_t=alpha_seconds
+            ),
+        }
+        row: dict = {"Extra Work": level}
+        reference = None
+        for name in CONFIGURATIONS:
+            run = measure_job(f"x{level}/{name}", variants[name], splits)
+            row[name] = run.cpu_seconds
+            if reference is None:
+                reference = run.result.sorted_output()
+            else:
+                assert run.result.sorted_output() == reference, name
+        rows.append(row)
+
+    first, last = rows[0], rows[-1]
+    return ExperimentResult(
+        artifact="Figure 11",
+        title="Total CPU time vs extra Map work (seconds)",
+        headers=["Extra Work", *CONFIGURATIONS],
+        rows=rows,
+        notes={
+            "num_queries": num_queries,
+            "alpha_seconds": alpha_seconds,
+            # The two shape checks the paper's plot makes visible:
+            "inf_beats_0_at_low_work": first["Adaptive-inf"]
+            <= first["Adaptive-0"] * 1.25,
+            "0_beats_inf_at_high_work": last["Adaptive-0"]
+            < last["Adaptive-inf"],
+            "alpha_tracks_0_at_high_work": last["Adaptive-alpha"]
+            < last["Adaptive-inf"],
+        },
+    )

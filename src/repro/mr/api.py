@@ -1,0 +1,178 @@
+"""The user-facing MapReduce job API (Hadoop-style).
+
+A MapReduce program supplies:
+
+* a :class:`Mapper` with ``setup`` / ``map`` / ``cleanup``;
+* a :class:`Reducer` with ``setup`` / ``reduce`` / ``cleanup``;
+* optionally a :class:`Combiner` (a reducer run on map output); and
+* a :class:`Partitioner` assigning intermediate keys to reduce tasks.
+
+All four are treated as black boxes by the engine — and, crucially, by
+the Anti-Combining transformation (paper Section 6), which wraps rather
+than modifies them.
+
+User code interacts with the framework through a :class:`Context`
+object, mirroring Hadoop's ``Mapper.Context`` / ``Reducer.Context``:
+output goes through ``context.write`` and counters through
+``context.counters``.  This indirection is what lets the AntiMapper
+*intercept* the original Map's output (Figure 7).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.mr import serde
+from repro.mr.counters import Counters
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic, process-independent 32-bit hash of a key.
+
+    Python's builtin ``hash`` is randomised per process for strings, so
+    the simulator hashes the serialised representation instead — the
+    moral equivalent of Hadoop hashing the Writable bytes.
+    """
+    return zlib.crc32(serde.encode(key))
+
+
+class Context:
+    """Channel between user code and the framework.
+
+    ``write`` forwards each emitted key/value pair to the sink callback
+    installed by the framework (the map-output buffer, the spill
+    writer, or the job-output collector).
+    """
+
+    def __init__(
+        self,
+        counters: Counters,
+        sink: Callable[[Any, Any], None],
+        partitioner: "Partitioner | None" = None,
+        num_partitions: int = 1,
+        task_id: str = "",
+        partition: int | None = None,
+        store: Any = None,
+    ):
+        self.counters = counters
+        self._sink = sink
+        self.partitioner = partitioner
+        self.num_partitions = num_partitions
+        self.task_id = task_id
+        #: For reduce contexts: the partition number of this reduce task
+        #: (used by LazySH decoding to filter re-executed Map output).
+        self.partition = partition
+        #: The task's local disk (a LocalStore); the Shared structure
+        #: spills here (paper Section 5).
+        self.store = store
+
+    def write(self, key: Any, value: Any) -> None:
+        """Emit one output record."""
+        self._sink(key, value)
+
+    # Alias used throughout the paper's pseudo-code.
+    emit = write
+
+    def get_partition(self, key: Any) -> int:
+        """Partition assignment for ``key`` under this job's Partitioner."""
+        if self.partitioner is None:
+            raise RuntimeError("context has no partitioner")
+        return self.partitioner.get_partition(key, self.num_partitions)
+
+    def with_sink(
+        self,
+        sink: Callable[[Any, Any], None],
+        partition: int | None = None,
+    ) -> "Context":
+        """A copy of this context writing to a different sink.
+
+        ``partition`` overrides the context's partition number, which
+        matters to partition-aware consumers such as the spill-time
+        Anti-Combiner.
+        """
+        return Context(
+            counters=self.counters,
+            sink=sink,
+            partitioner=self.partitioner,
+            num_partitions=self.num_partitions,
+            task_id=self.task_id,
+            partition=self.partition if partition is None else partition,
+            store=self.store,
+        )
+
+
+class Mapper:
+    """Base mapper: identity (emits its input unchanged)."""
+
+    def setup(self, context: Context) -> None:
+        """Called once per task before the first ``map`` call."""
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        context.write(key, value)
+
+    def cleanup(self, context: Context) -> None:
+        """Called once per task after the last ``map`` call."""
+
+
+class Reducer:
+    """Base reducer: identity (emits each value under its key)."""
+
+    def setup(self, context: Context) -> None:
+        """Called once per task before the first ``reduce`` call."""
+
+    def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
+        for value in values:
+            context.write(key, value)
+
+    def cleanup(self, context: Context) -> None:
+        """Called once per task after the last ``reduce`` call."""
+
+
+class Combiner(Reducer):
+    """A Combiner is a Reducer run on map output (paper Section 6.1)."""
+
+
+class Partitioner:
+    """Assigns an intermediate key to a reduce task."""
+
+    def get_partition(self, key: Any, num_partitions: int) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """The default partitioner: stable hash modulo task count."""
+
+    def get_partition(self, key: Any, num_partitions: int) -> int:
+        return stable_hash(key) % num_partitions
+
+
+class KeyFieldPartitioner(Partitioner):
+    """Partitions on a derived field of the key.
+
+    ``field_fn`` extracts the part of the key that should determine the
+    partition (e.g. the first element of a composite key for secondary
+    sort).
+    """
+
+    def __init__(self, field_fn: Callable[[Any], Any]):
+        self._field_fn = field_fn
+
+    def get_partition(self, key: Any, num_partitions: int) -> int:
+        return stable_hash(self._field_fn(key)) % num_partitions
+
+
+def run_reducer_on_group(
+    reducer: Reducer,
+    key: Any,
+    values: Iterable[Any],
+    context: Context,
+) -> list[tuple[Any, Any]]:
+    """Run one reduce call, collecting its emissions into a list.
+
+    Convenience used by spill-time combining and by tests.
+    """
+    collected: list[tuple[Any, Any]] = []
+    capture = context.with_sink(lambda k, v: collected.append((k, v)))
+    reducer.reduce(key, iter(values), capture)
+    return collected

@@ -1,0 +1,342 @@
+"""The map-side sort buffer: collect, spill, combine, merge.
+
+This reproduces the Hadoop 1.x map task internals the paper builds on
+(Figure 2 and Section 5):
+
+* Map output is collected into an in-memory buffer.
+* When the buffer fills (``JobConf.sort_buffer_bytes``), the records are
+  partitioned, sorted per partition, run through the spill-time
+  Combiner (if any), compressed with the map-output codec, and written
+  to local disk as one *spill* (a set of per-partition segments).
+* When the task finishes, spills are merged per partition — preserving
+  sort order — into the final map-output segments that the shuffle will
+  transfer.  A single spill needs no merge (Hadoop renames it); multiple
+  spills are merged in passes of at most ``merge_factor`` runs, with the
+  Combiner reapplied at the final merge when there are at least
+  ``MIN_SPILLS_FOR_COMBINE`` spills (Hadoop's
+  ``min.num.spills.for.combine``).
+
+Every byte written or read and every comparison performed is charged to
+the task's counters, which is how the paper's disk/CPU columns are
+reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.mr import counters as C
+from repro.mr import serde
+from repro.mr.api import Context
+from repro.mr.compress import get_codec
+from repro.mr.config import JobConf
+from repro.mr.merge import group_by_key, merge_sorted
+from repro.mr.segment import Segment, build_segment_bytes, iter_segment_bytes
+from repro.mr.storage import LocalStore
+
+#: Minimum number of spills before the Combiner also runs at the final
+#: merge (matches Hadoop's min.num.spills.for.combine default).
+MIN_SPILLS_FOR_COMBINE = 3
+
+EmitFn = Callable[[Any, Any], None]
+
+
+class CombineRunner:
+    """Runs the job's Combiner over one partition's sorted group stream.
+
+    One fresh combiner instance is created per (spill, partition), with
+    ``setup``/``cleanup`` bracketing the groups — the protocol a
+    stateful combiner (notably the spill-time Anti-Combiner) relies on.
+    """
+
+    def __init__(self, job: JobConf, context: Context):
+        self._job = job
+        self._context = context
+
+    def run(
+        self,
+        partition: int,
+        groups: Iterable[tuple[Any, list[Any]]],
+        emit: EmitFn,
+    ) -> None:
+        job = self._job
+        counters = self._context.counters
+        combiner = job.make_combiner()
+        if combiner is None:
+            raise RuntimeError("CombineRunner requires a configured combiner")
+
+        def counted_emit(key: Any, value: Any) -> None:
+            counters.add(C.COMBINE_OUTPUT_RECORDS)
+            emit(key, value)
+
+        cctx = self._context.with_sink(counted_emit, partition=partition)
+        combiner.setup(cctx)
+        for key, values in groups:
+            counters.add(C.COMBINE_INPUT_RECORDS, len(values))
+            _, cost = job.cost_meter.measure(
+                combiner.reduce, key, iter(values), cctx
+            )
+            counters.add(C.CPU_COMBINE_SECONDS, cost)
+        combiner.cleanup(cctx)
+
+
+class MapOutputBuffer:
+    """Collects map output, spilling sorted runs to the task's disk."""
+
+    def __init__(
+        self,
+        job: JobConf,
+        store: LocalStore,
+        context: Context,
+        task_id: str,
+    ):
+        self._job = job
+        self._store = store
+        self._context = context
+        self._task_id = task_id
+        self._codec = get_codec(job.map_output_codec)
+        self._records: list[tuple[int, Any, Any]] = []
+        self._buffered_bytes = 0
+        self._spills: list[dict[int, Segment]] = []
+        self._combine_runner = (
+            CombineRunner(job, context) if job.combiner is not None else None
+        )
+        self._finalized = False
+
+    # -- collection ------------------------------------------------------
+    def collect(self, key: Any, value: Any) -> None:
+        """Accept one map-output record (the Context sink)."""
+        if self._finalized:
+            raise RuntimeError("map output buffer already finalized")
+        job = self._job
+        counters = self._context.counters
+        partition, cost = job.cost_meter.measure(
+            job.partitioner.get_partition, key, job.num_reducers
+        )
+        if not 0 <= partition < job.num_reducers:
+            raise ValueError(
+                f"partitioner returned {partition} for key {key!r}, "
+                f"outside [0, {job.num_reducers})"
+            )
+        counters.add(C.CPU_PARTITION_SECONDS, cost)
+        size = serde.record_size(key, value)
+        counters.add(C.MAP_OUTPUT_RECORDS)
+        counters.add(C.MAP_OUTPUT_BYTES, size)
+        model = job.framework_cost_model
+        counters.add(
+            C.CPU_FRAMEWORK_SECONDS,
+            model.serialize_cost(size) + model.record_cost(1),
+        )
+        self._records.append((partition, key, value))
+        self._buffered_bytes += size
+        # Spill when either the data region or the per-record metadata
+        # region fills (Hadoop's io.sort.mb / io.sort.record.percent).
+        if (
+            self._buffered_bytes >= job.sort_buffer_bytes
+            or len(self._records) >= job.sort_record_limit
+        ):
+            self._spill()
+
+    # -- spilling --------------------------------------------------------
+    def _sorted_by_partition(
+        self, records: list[tuple[int, Any, Any]]
+    ) -> Iterator[tuple[int, list[tuple[Any, Any]]]]:
+        """Sort records by (partition, key); yield per-partition lists."""
+        job = self._job
+        key_fn = job.comparator.key_fn()
+        records.sort(key=lambda rec: (rec[0], key_fn(rec[1])))
+        self._context.counters.add(
+            C.CPU_FRAMEWORK_SECONDS,
+            job.framework_cost_model.sort_cost(len(records)),
+        )
+        start = 0
+        while start < len(records):
+            partition = records[start][0]
+            end = start
+            while end < len(records) and records[end][0] == partition:
+                end += 1
+            yield partition, [(k, v) for _, k, v in records[start:end]]
+            start = end
+
+    def _apply_combiner(
+        self,
+        partition: int,
+        records: list[tuple[Any, Any]],
+    ) -> list[tuple[Any, Any]]:
+        """Run the spill-time combiner over sorted ``records``."""
+        assert self._combine_runner is not None
+        combined: list[tuple[Any, Any]] = []
+        groups = group_by_key(
+            iter(records), self._job.effective_grouping_comparator
+        )
+        self._combine_runner.run(
+            partition, groups, lambda k, v: combined.append((k, v))
+        )
+        return combined
+
+    def _write_segment(
+        self,
+        name: str,
+        partition: int,
+        records: Iterable[tuple[Any, Any]],
+    ) -> Segment:
+        """Serialise, compress (metered) and persist one segment."""
+        job = self._job
+        counters = self._context.counters
+        buf = bytearray()
+        count = 0
+        for key, value in records:
+            payload = serde.encode_kv(key, value)
+            serde.write_varint(buf, len(payload))
+            buf.extend(payload)
+            count += 1
+        raw = bytes(buf)
+        counters.add(
+            C.CPU_FRAMEWORK_SECONDS,
+            job.framework_cost_model.serialize_cost(len(raw)),
+        )
+        data, cost = job.cost_meter.measure(self._codec.compress, raw)
+        counters.add(C.CPU_CODEC_SECONDS, cost)
+        self._store.write_file(name, data)
+        return Segment(
+            store=self._store,
+            name=name,
+            partition=partition,
+            record_count=count,
+            raw_bytes=len(raw),
+            codec=self._codec,
+        )
+
+    def _spill(self) -> None:
+        """Sort, combine and write the buffered records as one spill."""
+        if not self._records:
+            return
+        counters = self._context.counters
+        spill_index = len(self._spills)
+        counters.add(C.MAP_SPILLS)
+        counters.add(C.MAP_SPILLED_RECORDS, len(self._records))
+        segments: dict[int, Segment] = {}
+        for partition, records in self._sorted_by_partition(self._records):
+            if self._combine_runner is not None:
+                records = self._apply_combiner(partition, records)
+            name = f"{self._task_id}/spill{spill_index}/p{partition}"
+            segments[partition] = self._write_segment(name, partition, records)
+        self._spills.append(segments)
+        self._records = []
+        self._buffered_bytes = 0
+
+    # -- finalisation ----------------------------------------------------
+    def _scan_metered(self, segment: Segment) -> Iterator[tuple[Any, Any]]:
+        """Scan a segment, metering decompression and parse cost."""
+        job = self._job
+        counters = self._context.counters
+        data = segment.read_bytes()
+        raw, cost = job.cost_meter.measure(self._codec.decompress, data)
+        counters.add(C.CPU_CODEC_SECONDS, cost)
+        counters.add(
+            C.CPU_FRAMEWORK_SECONDS,
+            job.framework_cost_model.serialize_cost(len(raw)),
+        )
+        yield from iter_segment_bytes(raw, get_codec(None))
+
+    def _merge_partition(
+        self,
+        partition: int,
+        segments: list[Segment],
+        apply_combine: bool,
+    ) -> Segment:
+        """Merge sorted runs of one partition into the final segment."""
+        job = self._job
+        counters = self._context.counters
+        intermediate = 0
+        # Multi-pass merge when there are more runs than the merge factor.
+        while len(segments) > job.merge_factor:
+            batch, segments = segments[: job.merge_factor], segments[job.merge_factor:]
+            merged = merge_sorted(
+                [self._scan_metered(seg) for seg in batch], job.comparator
+            )
+            name = f"{self._task_id}/inter{intermediate}/p{partition}"
+            intermediate += 1
+            total_records = sum(seg.record_count for seg in batch)
+            counters.add(
+                C.CPU_FRAMEWORK_SECONDS,
+                job.framework_cost_model.merge_cost(total_records, len(batch)),
+            )
+            segments.append(self._write_segment(name, partition, merged))
+            for seg in batch:
+                seg.delete()
+
+        merged = merge_sorted(
+            [self._scan_metered(seg) for seg in segments], job.comparator
+        )
+        total_records = sum(seg.record_count for seg in segments)
+        counters.add(
+            C.CPU_FRAMEWORK_SECONDS,
+            job.framework_cost_model.merge_cost(total_records, len(segments)),
+        )
+        if apply_combine and self._combine_runner is not None:
+            records: list[tuple[Any, Any]] = []
+            groups = group_by_key(merged, job.effective_grouping_comparator)
+            self._combine_runner.run(
+                partition, groups, lambda k, v: records.append((k, v))
+            )
+            merged = iter(records)
+        name = f"{self._task_id}/out/p{partition}"
+        final = self._write_segment(name, partition, merged)
+        for seg in segments:
+            seg.delete()
+        return final
+
+    def finalize(self) -> dict[int, Segment]:
+        """Flush and merge everything; return final segments by partition."""
+        if self._finalized:
+            raise RuntimeError("map output buffer already finalized")
+        self._finalized = True
+        counters = self._context.counters
+        job = self._job
+
+        if not self._spills:
+            # Everything fits in memory: sort, combine, write final
+            # output directly (a single disk write, like Hadoop).
+            segments: dict[int, Segment] = {}
+            for partition, records in self._sorted_by_partition(self._records):
+                if self._combine_runner is not None:
+                    records = self._apply_combiner(partition, records)
+                name = f"{self._task_id}/out/p{partition}"
+                segments[partition] = self._write_segment(
+                    name, partition, records
+                )
+            self._records = []
+            self._buffered_bytes = 0
+            self._record_materialized(segments)
+            return segments
+
+        self._spill()  # flush the tail of the buffer
+        if len(self._spills) == 1:
+            # Single spill: Hadoop renames it to the final output.
+            segments = self._spills[0]
+            self._record_materialized(segments)
+            return segments
+
+        apply_combine = (
+            self._combine_runner is not None
+            and len(self._spills) >= MIN_SPILLS_FOR_COMBINE
+        )
+        by_partition: dict[int, list[Segment]] = {}
+        for spill in self._spills:
+            for partition, segment in spill.items():
+                by_partition.setdefault(partition, []).append(segment)
+        segments = {
+            partition: self._merge_partition(partition, runs, apply_combine)
+            for partition, runs in sorted(by_partition.items())
+        }
+        self._record_materialized(segments)
+        return segments
+
+    def _record_materialized(self, segments: dict[int, Segment]) -> None:
+        total = sum(seg.size_bytes for seg in segments.values())
+        self._context.counters.add(C.MAP_OUTPUT_MATERIALIZED_BYTES, total)
+
+    @property
+    def spill_count(self) -> int:
+        return len(self._spills)

@@ -1,0 +1,106 @@
+"""Key comparators and grouping comparators.
+
+Hadoop sorts reduce input with a *sort comparator* and decides which
+consecutive keys belong to the same Reduce call with a *grouping
+comparator* (used, e.g., for secondary sort).  The paper's ``Shared``
+structure must honour both (Section 6.1), so the substrate models them
+explicitly.
+
+A comparator is any object with a ``cmp(a, b) -> int`` method returning
+a negative / zero / positive integer.  :func:`sort_key` adapts a
+comparator for use with :func:`sorted`, ``heapq`` and friends.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from repro.mr import serde
+
+
+class Comparator:
+    """Comparator built from a two-argument ``cmp``-style function.
+
+    ``is_natural`` marks the comparator as equivalent to Python's
+    native ordering, unlocking fast paths (plain ``sorted``/``min``)
+    in hot code.
+    """
+
+    def __init__(
+        self,
+        cmp_fn: Callable[[Any, Any], int],
+        name: str = "custom",
+        is_natural: bool = False,
+    ):
+        self._cmp_fn = cmp_fn
+        self.name = name
+        self.is_natural = is_natural
+
+    def cmp(self, a: Any, b: Any) -> int:
+        return self._cmp_fn(a, b)
+
+    def min(self, items):
+        """Return the minimum of ``items`` under this comparator."""
+        if self.is_natural:
+            return min(items)
+        iterator = iter(items)
+        try:
+            best = next(iterator)
+        except StopIteration:
+            raise ValueError("min() of empty sequence") from None
+        for item in iterator:
+            if self.cmp(item, best) < 0:
+                best = item
+        return best
+
+    def sorted(self, items) -> list:
+        """Return ``items`` sorted ascending under this comparator."""
+        if self.is_natural:
+            return sorted(items)
+        return sorted(items, key=functools.cmp_to_key(self.cmp))
+
+    def key_fn(self) -> Callable[[Any], Any]:
+        """A ``key=`` adapter for :func:`sorted` / ``heapq``."""
+        return functools.cmp_to_key(self.cmp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Comparator({self.name})"
+
+
+def _natural_cmp(a: Any, b: Any) -> int:
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def _raw_bytes_cmp(a: Any, b: Any) -> int:
+    return _natural_cmp(serde.encode(a), serde.encode(b))
+
+
+#: Natural Python ordering (requires mutually comparable keys).
+default_comparator = Comparator(_natural_cmp, name="natural", is_natural=True)
+
+#: Hadoop-style comparison of the serialised byte representation.  Works
+#: for mixed key types that are not mutually comparable in Python.
+raw_bytes_comparator = Comparator(_raw_bytes_cmp, name="raw-bytes")
+
+
+def comparator_from_key(key_fn: Callable[[Any], Any], name: str = "keyed") -> Comparator:
+    """Build a comparator that compares ``key_fn(a)`` with ``key_fn(b)``.
+
+    Useful for grouping comparators, e.g. secondary sort where the
+    grouping key is a prefix of the composite sort key.
+    """
+
+    def cmp(a: Any, b: Any) -> int:
+        return _natural_cmp(key_fn(a), key_fn(b))
+
+    return Comparator(cmp, name=name)
+
+
+def sort_key(comparator: Comparator) -> Callable[[Any], Any]:
+    """Alias for ``comparator.key_fn()`` kept for readability at call sites."""
+    return comparator.key_fn()

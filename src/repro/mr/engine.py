@@ -1,0 +1,169 @@
+"""The local job runner: the simulator's JobTracker.
+
+Runs every map task, shuffles, runs every reduce task, and folds all
+task counters into job-level totals.  Per-task cost snapshots are kept
+so the :class:`~repro.mr.runtime_model.ClusterModel` can turn them into
+a simulated wall-clock runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.mr import counters as C
+from repro.mr.config import JobConf
+from repro.mr.counters import Counters
+from repro.mr.maptask import MapTask, MapTaskResult
+from repro.mr.reducetask import ReduceTask, ReduceTaskResult
+from repro.mr.runtime_model import ClusterModel, RuntimeEstimate, TaskCost
+
+Record = tuple[Any, Any]
+
+
+@dataclass
+class JobResult:
+    """Everything a finished job produced and measured."""
+
+    job_name: str
+    outputs_by_partition: dict[int, list[Record]]
+    counters: Counters
+    map_task_costs: list[TaskCost] = field(default_factory=list)
+    reduce_task_costs: list[TaskCost] = field(default_factory=list)
+    shuffle_bytes_per_reducer: list[int] = field(default_factory=list)
+
+    @property
+    def output(self) -> list[Record]:
+        """All reduce output, concatenated in partition order."""
+        result: list[Record] = []
+        for partition in sorted(self.outputs_by_partition):
+            result.extend(self.outputs_by_partition[partition])
+        return result
+
+    def sorted_output(self) -> list[Record]:
+        """Job output as a canonically-ordered list (for comparisons)."""
+        from repro.mr import serde
+
+        return sorted(
+            self.output, key=lambda record: serde.encode_kv(*record)
+        )
+
+    # -- convenience accessors for the paper's reported quantities ------
+    @property
+    def map_output_bytes(self) -> int:
+        """The paper's 'Total Map Output Size' (bytes on the wire)."""
+        return self.counters.get_int(C.MAP_OUTPUT_MATERIALIZED_BYTES)
+
+    @property
+    def map_output_records(self) -> int:
+        return self.counters.get_int(C.MAP_OUTPUT_RECORDS)
+
+    @property
+    def disk_read_bytes(self) -> int:
+        """Local disk reads (spills/merges/staging) — the paper's metric."""
+        return self.counters.get_int(C.DISK_READ_BYTES)
+
+    @property
+    def disk_write_bytes(self) -> int:
+        """Local disk writes (spills/merges/staging) — the paper's metric."""
+        return self.counters.get_int(C.DISK_WRITE_BYTES)
+
+    @property
+    def hdfs_read_bytes(self) -> int:
+        """Distributed-FS input reads (identical across strategies)."""
+        return self.counters.get_int(C.HDFS_READ_BYTES)
+
+    @property
+    def hdfs_write_bytes(self) -> int:
+        """Distributed-FS output writes (identical across strategies)."""
+        return self.counters.get_int(C.HDFS_WRITE_BYTES)
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return self.counters.get_int(C.SHUFFLE_TRANSFER_BYTES)
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.counters.total_cpu_seconds()
+
+    def runtime(self, cluster: ClusterModel | None = None) -> RuntimeEstimate:
+        """Simulated runtime under ``cluster`` (default: paper cluster)."""
+        model = cluster if cluster is not None else ClusterModel()
+        return model.estimate(
+            self.map_task_costs,
+            self.reduce_task_costs,
+            self.shuffle_bytes_per_reducer,
+        )
+
+
+class LocalJobRunner:
+    """Executes a job on in-memory splits, sequentially but faithfully."""
+
+    def run(
+        self,
+        job: JobConf,
+        splits: Sequence[Iterable[Record]],
+    ) -> JobResult:
+        """Run ``job`` over ``splits`` (one map task per split)."""
+        map_results: list[MapTaskResult] = []
+        map_costs: list[TaskCost] = []
+        for index, split in enumerate(splits):
+            result = MapTask(job, f"map{index}").run(split)
+            map_results.append(result)
+            # Snapshot now: later shuffle serve-reads charge this task's
+            # counters but belong to the shuffle phase, not the map wave.
+            map_costs.append(
+                TaskCost(
+                    task_id=result.task_id,
+                    cpu_seconds=result.cpu_seconds,
+                    disk_bytes=result.disk_read_bytes
+                    + result.disk_write_bytes
+                    + result.counters.get_int(C.HDFS_READ_BYTES)
+                    + result.counters.get_int(C.HDFS_WRITE_BYTES),
+                )
+            )
+
+        reduce_results: list[ReduceTaskResult] = []
+        reduce_costs: list[TaskCost] = []
+        shuffle_per_reducer: list[int] = []
+        for partition in range(job.num_reducers):
+            segments = [
+                result.segments[partition]
+                for result in map_results
+                if partition in result.segments
+            ]
+            reduce_result = ReduceTask(job, partition).run(segments)
+            reduce_results.append(reduce_result)
+            reduce_costs.append(
+                TaskCost(
+                    task_id=reduce_result.task_id,
+                    cpu_seconds=reduce_result.cpu_seconds,
+                    disk_bytes=reduce_result.counters.get_int(
+                        C.DISK_READ_BYTES
+                    )
+                    + reduce_result.counters.get_int(C.DISK_WRITE_BYTES)
+                    + reduce_result.counters.get_int(C.HDFS_READ_BYTES)
+                    + reduce_result.counters.get_int(C.HDFS_WRITE_BYTES),
+                    reexecutions=reduce_result.counters.get_int(
+                        C.ANTI_REDUCE_MAP_REEXECUTIONS
+                    ),
+                )
+            )
+            shuffle_per_reducer.append(reduce_result.shuffle_bytes)
+
+        totals = Counters()
+        for result in map_results:
+            totals.merge(result.counters)
+        for reduce_result in reduce_results:
+            totals.merge(reduce_result.counters)
+
+        return JobResult(
+            job_name=job.name,
+            outputs_by_partition={
+                r.partition: r.output for r in reduce_results
+            },
+            counters=totals,
+            map_task_costs=map_costs,
+            reduce_task_costs=reduce_costs,
+            shuffle_bytes_per_reducer=shuffle_per_reducer,
+        )

@@ -1,0 +1,105 @@
+"""One map task: drive the mapper over a split, produce final segments.
+
+CPU attribution detail: the engine meters every call into user code
+(``setup`` / ``map`` / ``cleanup``) and charges it to
+``cpu.map.seconds``.  Emissions made during a metered call are buffered
+and only fed to the sort buffer *after* the call returns, so framework
+work (partitioning, serialisation, spilling) is charged to its own
+counters and never double-counted inside the user-function measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.mr import counters as C
+from repro.mr import serde
+from repro.mr.api import Context
+from repro.mr.buffer import MapOutputBuffer
+from repro.mr.config import JobConf
+from repro.mr.counters import Counters
+from repro.mr.segment import Segment
+from repro.mr.storage import LocalStore
+
+
+@dataclass
+class MapTaskResult:
+    """Output handle and measurements of one finished map task."""
+
+    task_id: str
+    #: Final map-output segments by partition (stored on this task's disk).
+    segments: dict[int, Segment]
+    #: Task-local counters (the engine folds them into the job totals).
+    counters: Counters
+    store: LocalStore = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.counters.total_cpu_seconds()
+
+    @property
+    def disk_read_bytes(self) -> int:
+        return self.counters.get_int(C.DISK_READ_BYTES)
+
+    @property
+    def disk_write_bytes(self) -> int:
+        return self.counters.get_int(C.DISK_WRITE_BYTES)
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes this task contributes to the shuffle."""
+        return sum(seg.size_bytes for seg in self.segments.values())
+
+
+class MapTask:
+    """Executes the (possibly Anti-Combining-wrapped) mapper on one split."""
+
+    def __init__(self, job: JobConf, task_id: str):
+        self._job = job
+        self.task_id = task_id
+
+    def run(self, split: Iterable[tuple[Any, Any]]) -> MapTaskResult:
+        job = self._job
+        counters = Counters()
+        store = LocalStore(counters, node=self.task_id)
+        pending: list[tuple[Any, Any]] = []
+        context = Context(
+            counters=counters,
+            sink=lambda key, value: pending.append((key, value)),
+            partitioner=job.partitioner,
+            num_partitions=job.num_reducers,
+            task_id=self.task_id,
+            store=store,
+        )
+        buffer = MapOutputBuffer(job, store, context, self.task_id)
+
+        def flush_pending() -> None:
+            for key, value in pending:
+                buffer.collect(key, value)
+            pending.clear()
+
+        mapper = job.make_mapper()
+        _, cost = job.cost_meter.measure(mapper.setup, context)
+        counters.add(C.CPU_MAP_SECONDS, cost)
+        flush_pending()
+        for key, value in split:
+            counters.add(C.MAP_INPUT_RECORDS)
+            input_size = serde.record_size(key, value)
+            counters.add(C.MAP_INPUT_BYTES, input_size)
+            # Reading the split from the distributed file system.
+            counters.add(C.HDFS_READ_BYTES, input_size)
+            _, cost = job.cost_meter.measure(mapper.map, key, value, context)
+            counters.add(C.CPU_MAP_SECONDS, cost)
+            flush_pending()
+        _, cost = job.cost_meter.measure(mapper.cleanup, context)
+        counters.add(C.CPU_MAP_SECONDS, cost)
+        flush_pending()
+
+        segments = buffer.finalize()
+        return MapTaskResult(
+            task_id=self.task_id,
+            segments=segments,
+            counters=counters,
+            store=store,
+        )

@@ -1,0 +1,47 @@
+"""K-way merging and key grouping for sorted record streams."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Iterator
+
+from repro.mr.comparators import Comparator
+
+
+def merge_sorted(
+    streams: Iterable[Iterator[tuple[Any, Any]]],
+    comparator: Comparator,
+) -> Iterator[tuple[Any, Any]]:
+    """Merge already-sorted record streams into one sorted stream.
+
+    Equal keys preserve stream order (stable), which keeps secondary
+    sort semantics intact.
+    """
+    key_fn = comparator.key_fn()
+    return heapq.merge(*streams, key=lambda record: key_fn(record[0]))
+
+
+def group_by_key(
+    records: Iterator[tuple[Any, Any]],
+    grouping_comparator: Comparator,
+) -> Iterator[tuple[Any, list[Any]]]:
+    """Group a sorted record stream into ``(first_key, values)`` runs.
+
+    Consecutive records whose keys compare equal under the grouping
+    comparator form one group; the group's representative key is the
+    first key seen, matching Hadoop's secondary-sort behaviour.
+    """
+    current_key: Any = None
+    values: list[Any] = []
+    have_group = False
+    for key, value in records:
+        if have_group and grouping_comparator.cmp(key, current_key) == 0:
+            values.append(value)
+        else:
+            if have_group:
+                yield current_key, values
+            current_key = key
+            values = [value]
+            have_group = True
+    if have_group:
+        yield current_key, values

@@ -1,0 +1,196 @@
+"""One reduce task: fetch, merge, group, reduce.
+
+Reproduces the reduce side of Hadoop 1.x (paper Figure 2): map-output
+segments for this partition are fetched over the (accounted) network,
+staged on local disk when they exceed the reduce buffer, merged into a
+single sorted stream, grouped with the grouping comparator, and fed to
+the Reduce function in ascending key order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.mr import counters as C
+from repro.mr import serde
+from repro.mr.api import Context
+from repro.mr.compress import get_codec
+from repro.mr.config import JobConf
+from repro.mr.counters import Counters
+from repro.mr.merge import group_by_key, merge_sorted
+from repro.mr.segment import Segment, iter_segment_bytes, write_segment
+from repro.mr.storage import LocalStore
+
+
+@dataclass
+class ReduceTaskResult:
+    """Output and measurements of one finished reduce task."""
+
+    task_id: str
+    partition: int
+    output: list[tuple[Any, Any]]
+    counters: Counters
+    store: LocalStore = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.counters.total_cpu_seconds()
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return self.counters.get_int(C.SHUFFLE_TRANSFER_BYTES)
+
+
+class ReduceTask:
+    """Executes the (possibly Anti-Combining-wrapped) reducer."""
+
+    def __init__(self, job: JobConf, partition: int):
+        self._job = job
+        self.partition = partition
+        self.task_id = f"reduce{partition}"
+
+    def run(self, map_segments: list[Segment]) -> ReduceTaskResult:
+        job = self._job
+        counters = Counters()
+        store = LocalStore(counters, node=self.task_id)
+        output: list[tuple[Any, Any]] = []
+
+        def output_sink(key: Any, value: Any) -> None:
+            size = serde.record_size(key, value)
+            counters.add(C.REDUCE_OUTPUT_RECORDS)
+            counters.add(C.REDUCE_OUTPUT_BYTES, size)
+            # Final output goes to the distributed file system.
+            counters.add(C.HDFS_WRITE_BYTES, size)
+            output.append((key, value))
+
+        context = Context(
+            counters=counters,
+            sink=output_sink,
+            partitioner=job.partitioner,
+            num_partitions=job.num_reducers,
+            task_id=self.task_id,
+            partition=self.partition,
+            store=store,
+        )
+
+        segments = self._fetch(map_segments, counters, store)
+        stream = self._merged_stream(segments, counters, store)
+
+        reducer = job.make_reducer()
+        _, cost = job.cost_meter.measure(reducer.setup, context)
+        counters.add(C.CPU_REDUCE_SECONDS, cost)
+        grouping = job.effective_grouping_comparator
+        for key, values in group_by_key(stream, grouping):
+            counters.add(C.REDUCE_INPUT_GROUPS)
+            counters.add(C.REDUCE_INPUT_RECORDS, len(values))
+            _, cost = job.cost_meter.measure(
+                reducer.reduce, key, iter(values), context
+            )
+            counters.add(C.CPU_REDUCE_SECONDS, cost)
+        _, cost = job.cost_meter.measure(reducer.cleanup, context)
+        counters.add(C.CPU_REDUCE_SECONDS, cost)
+
+        return ReduceTaskResult(
+            task_id=self.task_id,
+            partition=self.partition,
+            output=output,
+            counters=counters,
+            store=store,
+        )
+
+    # -- shuffle fetch ---------------------------------------------------
+    def _fetch(
+        self,
+        map_segments: list[Segment],
+        counters: Counters,
+        store: LocalStore,
+    ) -> list[Segment]:
+        """Transfer this partition's segments from the map-side disks.
+
+        Reading a segment from its map task's store charges the *map*
+        task's counters (the serve read happens on the map node, as in
+        Hadoop); the transfer itself and any local staging are charged
+        here.  Fetched data larger than ``reduce_buffer_bytes`` is
+        staged on this task's local disk before merging.
+        """
+        job = self._job
+        total_bytes = sum(seg.size_bytes for seg in map_segments)
+        counters.add(C.SHUFFLE_TRANSFER_BYTES, total_bytes)
+        counters.add(C.REDUCE_MERGE_SEGMENTS, len(map_segments))
+        if total_bytes <= job.reduce_buffer_bytes:
+            # Fits in the reduce task's memory: merge straight from the
+            # fetched buffers (the serve read is the only disk I/O).
+            return list(map_segments)
+        staged: list[Segment] = []
+        for index, seg in enumerate(map_segments):
+            data = seg.read_bytes()  # serve read, charged map-side
+            name = f"{self.task_id}/fetch{index}"
+            store.write_file(name, data)
+            staged.append(
+                Segment(
+                    store=store,
+                    name=name,
+                    partition=self.partition,
+                    record_count=seg.record_count,
+                    raw_bytes=seg.raw_bytes,
+                    codec=seg.codec,
+                )
+            )
+        return staged
+
+    # -- merging ---------------------------------------------------------
+    def _scan_metered(
+        self, segment: Segment, counters: Counters
+    ) -> Iterator[tuple[Any, Any]]:
+        """Scan one segment, metering decompression and parse cost."""
+        job = self._job
+        data = segment.read_bytes()
+        raw, cost = job.cost_meter.measure(segment.codec.decompress, data)
+        counters.add(C.CPU_CODEC_SECONDS, cost)
+        counters.add(
+            C.CPU_FRAMEWORK_SECONDS,
+            job.framework_cost_model.serialize_cost(len(raw)),
+        )
+        yield from iter_segment_bytes(raw, get_codec(None))
+
+    def _merged_stream(
+        self,
+        segments: list[Segment],
+        counters: Counters,
+        store: LocalStore,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Merge the fetched runs into one sorted record stream."""
+        job = self._job
+        codec = get_codec(job.map_output_codec)
+        intermediate = 0
+        segments = list(segments)
+        # Multi-pass merge mirroring Hadoop's io.sort.factor behaviour.
+        while len(segments) > job.merge_factor:
+            batch = segments[: job.merge_factor]
+            segments = segments[job.merge_factor :]
+            merged = merge_sorted(
+                [self._scan_metered(seg, counters) for seg in batch],
+                job.comparator,
+            )
+            total_records = sum(seg.record_count for seg in batch)
+            counters.add(
+                C.CPU_FRAMEWORK_SECONDS,
+                job.framework_cost_model.merge_cost(total_records, len(batch)),
+            )
+            name = f"{self.task_id}/merge{intermediate}"
+            intermediate += 1
+            segments.append(
+                write_segment(store, name, self.partition, merged, codec)
+            )
+        total_records = sum(seg.record_count for seg in segments)
+        counters.add(
+            C.CPU_FRAMEWORK_SECONDS,
+            job.framework_cost_model.merge_cost(
+                total_records, max(len(segments), 1)
+            ),
+        )
+        return merge_sorted(
+            [self._scan_metered(seg, counters) for seg in segments],
+            job.comparator,
+        )

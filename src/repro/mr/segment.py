@@ -1,0 +1,94 @@
+"""Sorted segments: the on-disk unit of map output and spills.
+
+A *segment* holds the records of one partition, sorted by key, as a
+(possibly compressed) concatenation of length-prefixed serialised
+key/value pairs — the simulator's equivalent of one partition's slice
+of a Hadoop spill or final map-output file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.mr import serde
+from repro.mr.compress import Codec
+
+
+def build_segment_bytes(
+    records: Iterable[tuple[Any, Any]], codec: Codec
+) -> tuple[bytes, int, int]:
+    """Serialise and compress ``records``.
+
+    Returns ``(data, record_count, raw_bytes)`` where ``raw_bytes`` is
+    the uncompressed serialised size.
+    """
+    buf = bytearray()
+    count = 0
+    for key, value in records:
+        payload = serde.encode_kv(key, value)
+        serde.write_varint(buf, len(payload))
+        buf.extend(payload)
+        count += 1
+    raw = bytes(buf)
+    return codec.compress(raw), count, len(raw)
+
+
+def iter_segment_bytes(data: bytes, codec: Codec) -> Iterator[tuple[Any, Any]]:
+    """Decompress and yield the records of a segment in stored order."""
+    raw = codec.decompress(data)
+    offset = 0
+    while offset < len(raw):
+        length, offset = serde.read_varint(raw, offset)
+        end = offset + length
+        yield serde.decode_kv(raw[offset:end])
+        offset = end
+
+
+@dataclass
+class Segment:
+    """Handle to one stored partition segment of a spill or map output."""
+
+    store: Any  # LocalStore; typed loosely to avoid an import cycle
+    name: str
+    partition: int
+    record_count: int
+    raw_bytes: int
+    codec: Codec
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk (post-compression) size."""
+        return self.store.file_size(self.name)
+
+    def scan(self) -> Iterator[tuple[Any, Any]]:
+        """Yield records in sorted order, charging one disk read."""
+        data = self.store.read_file(self.name)
+        yield from iter_segment_bytes(data, self.codec)
+
+    def read_bytes(self) -> bytes:
+        """Raw stored bytes (charged as one disk read)."""
+        return self.store.read_file(self.name)
+
+    def delete(self) -> None:
+        self.store.delete_file(self.name)
+
+
+def write_segment(
+    store: Any,
+    name: str,
+    partition: int,
+    records: Iterable[tuple[Any, Any]],
+    codec: Codec,
+) -> Segment:
+    """Build a segment from sorted ``records`` and persist it."""
+    data, count, raw_bytes = build_segment_bytes(records, codec)
+    store.write_file(name, data)
+    return Segment(
+        store=store,
+        name=name,
+        partition=partition,
+        record_count=count,
+        raw_bytes=raw_bytes,
+        codec=codec,
+    )

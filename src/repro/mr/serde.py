@@ -1,0 +1,318 @@
+"""Binary record serialisation with exact byte accounting.
+
+The simulator measures data sizes (map output size, disk I/O, network
+transfer) from the *serialised* representation of records, the way
+Hadoop does with Writables.  This module provides a compact,
+self-describing binary format for the Python object types that keys and
+values may use: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, ``tuple``, ``list``, ``dict`` and ``frozenset``.
+
+The format is: one tag byte, followed by a type-specific payload.
+Variable-length payloads are prefixed with an unsigned LEB128 varint.
+Integers are zig-zag encoded varints, so small values stay small — the
+same trick Hadoop's ``VIntWritable`` uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+# Type tags (one byte each).
+_TAG_NONE = 0x00
+#: Extension tags occupy 0x40-0x4F (see :func:`register_extension`).
+_TAG_EXT_BASE = 0x40
+_MAX_EXTENSIONS = 16
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_TUPLE = 0x07
+_TAG_LIST = 0x08
+_TAG_DICT = 0x09
+_TAG_FROZENSET = 0x0A
+_TAG_BIGINT = 0x0B  # ints too large for 64-bit zig-zag
+
+_FLOAT_STRUCT = struct.Struct(">d")
+
+
+class SerdeError(ValueError):
+    """Raised when an object cannot be (de)serialised."""
+
+
+class _Extension:
+    """Registered extension type: a fixed-arity tuple-like class."""
+
+    __slots__ = ("ext_id", "cls", "arity")
+
+    def __init__(self, ext_id: int, cls: type, arity: int):
+        self.ext_id = ext_id
+        self.cls = cls
+        self.arity = arity
+
+
+_EXTENSIONS: dict[int, _Extension] = {}
+_EXTENSION_BY_CLS: dict[type, _Extension] = {}
+
+
+def register_extension(ext_id: int, cls: type) -> None:
+    """Register a NamedTuple class as a compact extension type.
+
+    Extension values serialise as one tag byte followed by their fields
+    — no length prefix, since the arity is fixed by the class.  This is
+    how the Anti-Combining encodings achieve the paper's "a few bits"
+    of per-record overhead (see :mod:`repro.core.encoding`).
+
+    Registration is idempotent for the same ``(ext_id, cls)`` pair.
+    """
+    if not 0 <= ext_id < _MAX_EXTENSIONS:
+        raise SerdeError(f"ext_id must be in [0, {_MAX_EXTENSIONS})")
+    fields = getattr(cls, "_fields", None)
+    if fields is None:
+        raise SerdeError("extension class must be a NamedTuple")
+    existing = _EXTENSIONS.get(ext_id)
+    if existing is not None:
+        if existing.cls is cls:
+            return
+        raise SerdeError(f"ext_id {ext_id} already registered")
+    extension = _Extension(ext_id, cls, len(fields))
+    _EXTENSIONS[ext_id] = extension
+    _EXTENSION_BY_CLS[cls] = extension
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise SerdeError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint; return ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise SerdeError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise SerdeError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode_into(out: bytearray, obj: Any) -> None:
+    extension = _EXTENSION_BY_CLS.get(type(obj))
+    if extension is not None:
+        out.append(_TAG_EXT_BASE | extension.ext_id)
+        for item in obj:
+            _encode_into(out, item)
+        return
+    if obj is None:
+        out.append(_TAG_NONE)
+    elif obj is True:
+        out.append(_TAG_TRUE)
+    elif obj is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(obj, int):
+        if -(1 << 62) <= obj < (1 << 62):
+            out.append(_TAG_INT)
+            write_varint(out, _zigzag(obj))
+        else:
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            out.append(_TAG_BIGINT)
+            write_varint(out, len(raw))
+            out.extend(raw)
+    elif isinstance(obj, float):
+        out.append(_TAG_FLOAT)
+        out.extend(_FLOAT_STRUCT.pack(obj))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(_TAG_STR)
+        write_varint(out, len(raw))
+        out.extend(raw)
+    elif isinstance(obj, bytes):
+        out.append(_TAG_BYTES)
+        write_varint(out, len(obj))
+        out.extend(obj)
+    elif isinstance(obj, tuple):
+        out.append(_TAG_TUPLE)
+        write_varint(out, len(obj))
+        for item in obj:
+            _encode_into(out, item)
+    elif isinstance(obj, list):
+        out.append(_TAG_LIST)
+        write_varint(out, len(obj))
+        for item in obj:
+            _encode_into(out, item)
+    elif isinstance(obj, dict):
+        out.append(_TAG_DICT)
+        write_varint(out, len(obj))
+        for key, value in obj.items():
+            _encode_into(out, key)
+            _encode_into(out, value)
+    elif isinstance(obj, frozenset):
+        out.append(_TAG_FROZENSET)
+        items = sorted(obj, key=lambda item: encode(item))
+        write_varint(out, len(items))
+        for item in items:
+            _encode_into(out, item)
+    else:
+        raise SerdeError(f"unsupported type: {type(obj).__name__}")
+
+
+def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise SerdeError("truncated record")
+    tag = data[offset]
+    offset += 1
+    if tag & 0xF0 == _TAG_EXT_BASE:
+        extension = _EXTENSIONS.get(tag & 0x0F)
+        if extension is None:
+            raise SerdeError(f"unregistered extension id {tag & 0x0F}")
+        items = []
+        for _ in range(extension.arity):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return extension.cls(*items), offset
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        raw, offset = read_varint(data, offset)
+        return _unzigzag(raw), offset
+    if tag == _TAG_BIGINT:
+        length, offset = read_varint(data, offset)
+        end = offset + length
+        return int.from_bytes(data[offset:end], "big", signed=True), end
+    if tag == _TAG_FLOAT:
+        end = offset + 8
+        if end > len(data):
+            raise SerdeError("truncated float")
+        return _FLOAT_STRUCT.unpack_from(data, offset)[0], end
+    if tag == _TAG_STR:
+        length, offset = read_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise SerdeError("truncated string")
+        return data[offset:end].decode("utf-8"), end
+    if tag == _TAG_BYTES:
+        length, offset = read_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise SerdeError("truncated bytes")
+        return bytes(data[offset:end]), end
+    if tag in (_TAG_TUPLE, _TAG_LIST, _TAG_FROZENSET):
+        length, offset = read_varint(data, offset)
+        items = []
+        for _ in range(length):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        if tag == _TAG_TUPLE:
+            return tuple(items), offset
+        if tag == _TAG_LIST:
+            return items, offset
+        return frozenset(items), offset
+    if tag == _TAG_DICT:
+        length, offset = read_varint(data, offset)
+        result = {}
+        for _ in range(length):
+            key, offset = _decode_from(data, offset)
+            value, offset = _decode_from(data, offset)
+            result[key] = value
+        return result, offset
+    raise SerdeError(f"unknown tag byte: 0x{tag:02x}")
+
+
+def encode(obj: Any) -> bytes:
+    """Serialise one object to its binary representation."""
+    out = bytearray()
+    _encode_into(out, obj)
+    return bytes(out)
+
+
+def decode(data: bytes) -> Any:
+    """Deserialise one object; the buffer must contain exactly one."""
+    obj, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise SerdeError(f"{len(data) - offset} trailing bytes after object")
+    return obj
+
+
+def encode_kv(key: Any, value: Any) -> bytes:
+    """Serialise a key/value record (key first, then value)."""
+    out = bytearray()
+    _encode_into(out, key)
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def decode_kv(data: bytes) -> tuple[Any, Any]:
+    """Deserialise a key/value record produced by :func:`encode_kv`."""
+    key, offset = _decode_from(data, 0)
+    value, offset = _decode_from(data, offset)
+    if offset != len(data):
+        raise SerdeError(f"{len(data) - offset} trailing bytes after record")
+    return key, value
+
+
+def record_size(key: Any, value: Any) -> int:
+    """Exact serialised size in bytes of a key/value record."""
+    return len(encode_kv(key, value))
+
+
+def sizeof(obj: Any) -> int:
+    """Exact serialised size in bytes of a single object."""
+    return len(encode(obj))
+
+
+def approx_size(obj: Any) -> int:
+    """Fast estimate of the serialised size (within a few bytes).
+
+    Used for advisory memory accounting (e.g. the Shared structure's
+    spill trigger) where a full serialisation pass per record would
+    dominate the cost being modelled.
+    """
+    if type(obj) in _EXTENSION_BY_CLS:
+        return 1 + sum(approx_size(item) for item in obj)
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 1 + max(1, (obj.bit_length() + 7) // 7)
+    if isinstance(obj, float):
+        return 9
+    if isinstance(obj, str):
+        return 2 + len(obj)
+    if isinstance(obj, bytes):
+        return 2 + len(obj)
+    if isinstance(obj, (tuple, list, frozenset)):
+        return 2 + sum(approx_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 2 + sum(
+            approx_size(key) + approx_size(value)
+            for key, value in obj.items()
+        )
+    raise SerdeError(f"unsupported type: {type(obj).__name__}")

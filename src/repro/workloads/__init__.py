@@ -1,0 +1,109 @@
+"""The paper's evaluation workloads (Section 7).
+
+* :mod:`repro.workloads.query_suggestion` — the running example
+  (Sections 2–4, 7.2–7.6): prefix top-k over a query log.
+* :mod:`repro.workloads.wordcount` — Section 7.7.1, with a highly
+  effective Combiner.
+* :mod:`repro.workloads.pagerank` — Section 7.7.2, iterated.
+* :mod:`repro.workloads.thetajoin` — Section 7.7.3, the 1-Bucket-Theta
+  band self-join of Okcan & Riedewald (SIGMOD 2011).
+* :mod:`repro.workloads.sort` — Section 7.1's overhead workload.
+* :mod:`repro.workloads.busywork` — Section 7.6's CPU-intensive Map
+  wrapper (Fibonacci busy work).
+
+Beyond the evaluated four, the introduction's motivating application
+classes are implemented too:
+
+* :mod:`repro.workloads.similarityjoin` — set-similarity self-join
+  with prefix filtering (Vernica et al., cited as [24]).
+* :mod:`repro.workloads.multiquery` — scan-sharing / multi-query jobs
+  ("a perfect target for Anti-Combining", Section 1).
+* :mod:`repro.workloads.hits` — Kleinberg's HITS (cited as [14]).
+"""
+
+from repro.workloads.busywork import BusyWorkMapper, busywork_mapper_factory
+from repro.workloads.hits import (
+    HitsCombiner,
+    HitsMapper,
+    HitsReducer,
+    hits_job,
+    run_hits,
+)
+from repro.workloads.multiquery import (
+    Query,
+    SharedScanMapper,
+    SharedScanReducer,
+    shared_scan_job,
+    split_results_by_query,
+)
+from repro.workloads.pagerank import (
+    PageRankCombiner,
+    PageRankMapper,
+    PageRankReducer,
+    pagerank_job,
+    run_pagerank,
+)
+from repro.workloads.query_suggestion import (
+    PrefixPartitioner,
+    QuerySuggestionCombiner,
+    QuerySuggestionMapper,
+    QuerySuggestionReducer,
+    query_suggestion_job,
+)
+from repro.workloads.similarityjoin import (
+    SimilarityJoinMapper,
+    SimilarityJoinReducer,
+    similarity_join_job,
+)
+from repro.workloads.sort import SortMapper, SortReducer, sort_job
+from repro.workloads.thetajoin import (
+    BandJoinReducer,
+    OneBucketThetaMapper,
+    RegionPartitioner,
+    band_join_job,
+)
+from repro.workloads.wordcount import (
+    WordCountCombiner,
+    WordCountMapper,
+    WordCountReducer,
+    wordcount_job,
+)
+
+__all__ = [
+    "BandJoinReducer",
+    "BusyWorkMapper",
+    "HitsCombiner",
+    "HitsMapper",
+    "HitsReducer",
+    "OneBucketThetaMapper",
+    "PageRankCombiner",
+    "PageRankMapper",
+    "PageRankReducer",
+    "PrefixPartitioner",
+    "Query",
+    "QuerySuggestionCombiner",
+    "QuerySuggestionMapper",
+    "QuerySuggestionReducer",
+    "RegionPartitioner",
+    "SharedScanMapper",
+    "SharedScanReducer",
+    "SimilarityJoinMapper",
+    "SimilarityJoinReducer",
+    "SortMapper",
+    "SortReducer",
+    "WordCountCombiner",
+    "WordCountMapper",
+    "WordCountReducer",
+    "band_join_job",
+    "busywork_mapper_factory",
+    "hits_job",
+    "pagerank_job",
+    "query_suggestion_job",
+    "run_hits",
+    "run_pagerank",
+    "shared_scan_job",
+    "similarity_join_job",
+    "sort_job",
+    "split_results_by_query",
+    "wordcount_job",
+]

@@ -1,0 +1,73 @@
+"""CPU-intensive Map wrapper: the Fibonacci busy work of Section 7.6.
+
+The paper studies how the threshold ``T`` trades network savings
+against duplicated Map CPU by adding "extra CPU intensive work" to the
+Map function: "when ``x_i`` extra work is added, each map call computes
+the first ``25000 * x_i`` Fibonacci numbers".  :class:`BusyWorkMapper`
+wraps any mapper the same way.  Because the busy work runs *inside* the
+original Map, the AntiMapper's cost measurement sees it, and LazySH
+decoding re-executes it — exactly the effect Figure 11 plots.
+
+The per-unit iteration count is scaled down from the paper's 25000
+(Python integers grow without bound, so a faithful count would swamp
+the simulation); the *shape* of Figure 11 only needs the per-call cost
+to grow linearly in ``x``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.mr.api import Context, Mapper
+
+#: Fibonacci iterations per unit of "extra work".
+DEFAULT_ITERATIONS_PER_UNIT = 1000
+
+#: Keep the numbers bounded so each iteration costs the same.
+_FIB_MODULUS = 1 << 32
+
+
+def fibonacci_busy_work(iterations: int) -> int:
+    """Compute ``iterations`` Fibonacci steps (mod 2**32); return the last."""
+    a, b = 0, 1
+    for _ in range(iterations):
+        a, b = b, (a + b) % _FIB_MODULUS
+    return a
+
+
+class BusyWorkMapper(Mapper):
+    """Wrap a mapper, burning ``units`` of CPU before every map call."""
+
+    def __init__(
+        self,
+        mapper_factory: Callable[[], Mapper],
+        units: float,
+        iterations_per_unit: int = DEFAULT_ITERATIONS_PER_UNIT,
+    ):
+        if units < 0:
+            raise ValueError("units must be >= 0")
+        self._inner = mapper_factory()
+        self._iterations = int(units * iterations_per_unit)
+
+    def setup(self, context: Context) -> None:
+        self._inner.setup(context)
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        fibonacci_busy_work(self._iterations)
+        self._inner.map(key, value, context)
+
+    def cleanup(self, context: Context) -> None:
+        self._inner.cleanup(context)
+
+
+def busywork_mapper_factory(
+    mapper_factory: Callable[[], Mapper],
+    units: float,
+    iterations_per_unit: int = DEFAULT_ITERATIONS_PER_UNIT,
+) -> Callable[[], Mapper]:
+    """A factory producing busy-work-wrapped mappers (for ``JobConf``)."""
+
+    def factory() -> BusyWorkMapper:
+        return BusyWorkMapper(mapper_factory, units, iterations_per_unit)
+
+    return factory

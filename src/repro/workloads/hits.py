@@ -1,0 +1,148 @@
+"""HITS (Hyperlink-Induced Topic Search) — paper Section 1's graph list.
+
+The paper names HITS [Kleinberg 1999] alongside PageRank among the
+graph algorithms whose Map fan-out benefits from Anti-Combining.  One
+iteration is one MapReduce job over records
+
+    (node, (hub, authority, [out_neighbors...]))
+
+* **Map** forwards the structure and emits an authority contribution
+  ``(m, ('A', hub))`` for every out-edge ``node -> m`` — the same value
+  for every target, the EagerSH opportunity.
+* **Reduce** sums the authority contributions per node and carries the
+  adjacency list through.
+* The **driver** recomputes hub scores from the fresh authorities
+  (``hub(n) = sum of authority(m) over out-edges``) and L2-normalises
+  both vectors each iteration, matching Kleinberg's formulation and
+  :func:`networkx.hits`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Sequence
+
+from repro.mr.api import Combiner, Context, Mapper, Reducer
+from repro.mr.config import JobConf
+from repro.mr.engine import JobResult, LocalJobRunner
+from repro.mr.split import split_records
+
+STRUCTURE = "S"
+AUTH = "A"
+
+
+class HitsMapper(Mapper):
+    """Spread each node's hub score to its out-neighbours."""
+
+    def map(self, node: Any, state: tuple, context: Context) -> None:
+        hub, authority, neighbors = state
+        context.write(node, (STRUCTURE, (authority, list(neighbors))))
+        for neighbor in neighbors:
+            context.write(neighbor, (AUTH, hub))
+
+
+class HitsCombiner(Combiner):
+    """Pre-sum authority contributions within a map task."""
+
+    def reduce(self, key: Any, values: Iterator[tuple], context: Context) -> None:
+        total = 0.0
+        for tag, payload in values:
+            if tag == STRUCTURE:
+                context.write(key, (tag, payload))
+            else:
+                total += payload
+        if total:
+            context.write(key, (AUTH, total))
+
+
+class HitsReducer(Reducer):
+    """New authority = sum of in-neighbour hubs; keep structure."""
+
+    def reduce(self, node: Any, values: Iterator[tuple], context: Context) -> None:
+        new_authority = 0.0
+        neighbors: list = []
+        for tag, payload in values:
+            if tag == STRUCTURE:
+                _, neighbors = payload
+            else:
+                new_authority += payload
+        # hub is recomputed by the driver from the new authorities
+        context.write(node, (new_authority, neighbors))
+
+
+def hits_job(num_reducers: int = 8, with_combiner: bool = False,
+             **job_kwargs: Any) -> JobConf:
+    """One HITS half-iteration (authority update) as a job."""
+    return JobConf(
+        mapper=HitsMapper,
+        reducer=HitsReducer,
+        combiner=HitsCombiner if with_combiner else None,
+        num_reducers=num_reducers,
+        name="hits",
+        **job_kwargs,
+    )
+
+
+def _normalise(scores: dict[Any, float]) -> dict[Any, float]:
+    norm = math.sqrt(sum(score * score for score in scores.values()))
+    if norm == 0:
+        return scores
+    return {node: score / norm for node, score in scores.items()}
+
+
+def run_hits(
+    job: JobConf,
+    graph: Sequence[tuple[Any, tuple[float, float, list]]],
+    iterations: int = 5,
+    num_splits: int = 8,
+    runner: LocalJobRunner | None = None,
+) -> tuple[dict[Any, tuple[float, float]], list[JobResult]]:
+    """Run ``iterations`` of HITS; return ``{node: (hub, authority)}``.
+
+    Each iteration: one MapReduce job computes the authority update
+    (authority(m) = sum of hubs over in-edges); the driver then
+    recomputes hubs (hub(n) = sum of new authorities over out-edges)
+    and L2-normalises both vectors, matching Kleinberg's algorithm and
+    :func:`networkx.hits`.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    runner = runner if runner is not None else LocalJobRunner()
+    state = {
+        node: (float(hub), float(authority), list(neighbors))
+        for node, (hub, authority, neighbors) in graph
+    }
+    results: list[JobResult] = []
+    for _ in range(iterations):
+        records = [(node, value) for node, value in sorted(state.items())]
+        splits = split_records(records, num_splits=num_splits)
+        result = runner.run(job, splits)
+        results.append(result)
+        # collect new authorities (and carried structure)
+        adjacency: dict[Any, list] = {}
+        authorities: dict[Any, float] = {}
+        for node, (new_authority, neighbors) in result.output:
+            adjacency[node] = neighbors
+            authorities[node] = new_authority
+        # nodes with no in-edges may be missing — keep them at zero
+        for node in state:
+            authorities.setdefault(node, 0.0)
+            adjacency.setdefault(node, state[node][2])
+        authorities = _normalise(authorities)
+        hubs = {
+            node: sum(
+                authorities.get(neighbor, 0.0)
+                for neighbor in adjacency[node]
+            )
+            for node in state
+        }
+        hubs = _normalise(hubs)
+        state = {
+            node: (hubs[node], authorities[node], adjacency[node])
+            for node in state
+        }
+    scores = {
+        node: (hub, authority)
+        for node, (hub, authority, _) in state.items()
+    }
+    return scores, results

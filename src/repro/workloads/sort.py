@@ -1,0 +1,41 @@
+"""Sort: the overhead workload of Section 7.1.
+
+Hadoop's Sort program is an identity map followed by an identity
+reduce; the framework's shuffle does the sorting.  Each Map call emits
+exactly one record, so there is *nothing* for Anti-Combining to share —
+running the transformed program measures its pure overhead (the
+encoding tag on every record and the search for sharing opportunities).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.mr.api import Context, Mapper, Reducer
+from repro.mr.config import JobConf
+
+
+class SortMapper(Mapper):
+    """Identity: one output record per input record."""
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        context.write(value, key)
+
+
+class SortReducer(Reducer):
+    """Identity: emit every value under its (now sorted) key."""
+
+    def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
+        for value in values:
+            context.write(key, value)
+
+
+def sort_job(num_reducers: int = 8, **job_kwargs: Any) -> JobConf:
+    """A ready-to-run Sort job configuration."""
+    return JobConf(
+        mapper=SortMapper,
+        reducer=SortReducer,
+        num_reducers=num_reducers,
+        name="sort",
+        **job_kwargs,
+    )

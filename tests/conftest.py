@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr.api import Context
+from repro.mr.counters import Counters
+from repro.mr.cost import FixedCostMeter
+from repro.mr.storage import LocalStore
+
+
+@pytest.fixture
+def counters() -> Counters:
+    return Counters()
+
+
+@pytest.fixture
+def store(counters: Counters) -> LocalStore:
+    return LocalStore(counters)
+
+
+@pytest.fixture
+def sink_capture():
+    """A (records, sink) pair for collecting context emissions."""
+    records: list[tuple[object, object]] = []
+
+    def sink(key, value):
+        records.append((key, value))
+
+    return records, sink
+
+
+@pytest.fixture
+def context(counters, store, sink_capture) -> Context:
+    records, sink = sink_capture
+    return Context(
+        counters=counters,
+        sink=sink,
+        num_partitions=4,
+        task_id="test-task",
+        partition=0,
+        store=store,
+    )
+
+
+@pytest.fixture
+def fixed_meter() -> FixedCostMeter:
+    return FixedCostMeter(cost_per_call=1e-6)

@@ -1,0 +1,93 @@
+"""Tests for result formatting and comparison helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import (
+    ExperimentResult,
+    format_table,
+    human_bytes,
+    reduction_factor,
+)
+
+
+class TestHumanBytes:
+    def test_bytes(self) -> None:
+        assert human_bytes(42) == "42 B"
+
+    def test_kib(self) -> None:
+        assert human_bytes(2048) == "2.00 KiB"
+
+    def test_mib(self) -> None:
+        assert human_bytes(3 * 1024 * 1024) == "3.00 MiB"
+
+    def test_gib(self) -> None:
+        assert human_bytes(5.5 * 1024**3) == "5.50 GiB"
+
+
+class TestReductionFactor:
+    def test_basic(self) -> None:
+        assert reduction_factor(100, 25) == 4.0
+
+    def test_zero_optimized(self) -> None:
+        assert reduction_factor(100, 0) == math.inf
+        assert reduction_factor(0, 0) == 1.0
+
+    def test_regression_below_one(self) -> None:
+        assert reduction_factor(50, 100) == 0.5
+
+
+class TestFormatTable:
+    def test_alignment(self) -> None:
+        table = format_table(
+            ["Name", "Value"], [["a", 1], ["long-name", 123456]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("Name")
+        # all rows same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_rendering(self) -> None:
+        table = format_table(["x"], [[1.5], [0.001], [12345.6]])
+        assert "1.5" in table
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            artifact="Figure 0",
+            title="test",
+            headers=["Name", "Metric"],
+            rows=[
+                {"Name": "a", "Metric": 1},
+                {"Name": "b", "Metric": 2},
+            ],
+            notes={"factor": 2.0},
+        )
+
+    def test_table_contains_rows(self) -> None:
+        table = self._result().table()
+        assert "a" in table and "b" in table
+
+    def test_report_contains_notes(self) -> None:
+        report = self._result().report()
+        assert "Figure 0" in report
+        assert "factor" in report
+
+    def test_column(self) -> None:
+        assert self._result().column("Metric") == [1, 2]
+
+    def test_row_by(self) -> None:
+        assert self._result().row_by("Name", "b")["Metric"] == 2
+        with pytest.raises(KeyError):
+            self._result().row_by("Name", "missing")
+
+    def test_missing_cells_render_empty(self) -> None:
+        result = ExperimentResult(
+            artifact="x", title="t", headers=["A", "B"], rows=[{"A": 1}]
+        )
+        assert result.table()  # does not raise

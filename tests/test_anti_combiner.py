@@ -1,0 +1,124 @@
+"""Unit tests for the spill-time Anti-Combiner (flag C = 1)."""
+
+from __future__ import annotations
+
+from repro.core import encoding
+from repro.core.anti_combiner import AntiCombiner
+from repro.core.config import AntiCombiningConfig
+from repro.core.runtime import AntiRuntime
+from repro.mr.api import Combiner, Context, Mapper, Partitioner, Reducer
+from repro.mr.comparators import default_comparator
+from repro.mr.cost import FixedCostMeter
+from repro.mr.counters import Counters
+from repro.mr.storage import LocalStore
+
+
+class _ModPartitioner(Partitioner):
+    def get_partition(self, key, num_partitions):
+        return key % num_partitions
+
+
+class _SumCombiner(Combiner):
+    def reduce(self, key, values, context):
+        context.write(key, sum(values))
+
+
+class _WordsMapper(Mapper):
+    """value is a list of keys; emits (key, 1) for each."""
+
+    def map(self, key, value, context):
+        for out_key in value:
+            context.write(out_key, 1)
+
+
+def _runtime() -> AntiRuntime:
+    return AntiRuntime(
+        mapper_factory=_WordsMapper,
+        reducer_factory=Reducer,
+        combiner_factory=_SumCombiner,
+        partitioner=_ModPartitioner(),
+        num_reducers=2,
+        comparator=default_comparator,
+        grouping_comparator=default_comparator,
+        meter=FixedCostMeter(),
+        config=AntiCombiningConfig(use_map_combiner=True),
+    )
+
+
+def _run_combine(groups, partition=0):
+    counters = Counters()
+    store = LocalStore(counters)
+    emitted: list[tuple[object, object]] = []
+    context = Context(
+        counters,
+        lambda k, v: emitted.append((k, v)),
+        partitioner=_ModPartitioner(),
+        num_partitions=2,
+        task_id="map0",
+        partition=partition,
+        store=store,
+    )
+    combiner = AntiCombiner(_runtime())
+    combiner.setup(context)
+    for key, values in groups:
+        combiner.reduce(key, iter(values), context)
+    combiner.cleanup(context)
+    return emitted
+
+
+class TestAntiCombiner:
+    def test_decodes_then_combines_to_plain(self) -> None:
+        # two eager records for key 2 sharing value 1
+        groups = [
+            (
+                2,
+                [
+                    encoding.eager_value([4], 1),
+                    encoding.eager_value([4], 1),
+                ],
+            )
+        ]
+        emitted = _run_combine(groups)
+        assert emitted == [
+            (2, encoding.plain_value(2)),
+            (4, encoding.plain_value(2)),
+        ]
+
+    def test_output_keys_ascending(self) -> None:
+        groups = [
+            (0, [encoding.eager_value([8], 1)]),
+            (2, [encoding.eager_value([6], 1)]),
+            (4, [encoding.plain_value(1)]),
+        ]
+        emitted = _run_combine(groups)
+        assert [key for key, _ in emitted] == [0, 2, 4, 6, 8]
+
+    def test_lazy_records_reexecuted_at_spill_time(self) -> None:
+        # input record (9, [0, 2, 0]): emits (0,1), (2,1), (0,1); all
+        # partition 0, so a lazy record decodes to all three.
+        groups = [(0, [encoding.lazy_value(9, [0, 2, 0])])]
+        emitted = _run_combine(groups, partition=0)
+        assert emitted == [
+            (0, encoding.plain_value(2)),
+            (2, encoding.plain_value(1)),
+        ]
+
+    def test_mixed_encodings(self) -> None:
+        groups = [
+            (
+                0,
+                [
+                    encoding.plain_value(1),
+                    encoding.eager_value([2], 1),
+                    encoding.lazy_value(9, [0]),
+                ],
+            )
+        ]
+        emitted = _run_combine(groups)
+        assert emitted == [
+            (0, encoding.plain_value(3)),
+            (2, encoding.plain_value(1)),
+        ]
+
+    def test_empty_partition(self) -> None:
+        assert _run_combine([]) == []

@@ -1,0 +1,243 @@
+"""Unit tests for the AntiMapper's per-call, per-partition encoding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import encoding
+from repro.core.anti_mapper import AntiMapper, _value_group_id
+from repro.core.config import AntiCombiningConfig, Strategy
+from repro.core.runtime import AntiRuntime
+from repro.mr import counters as C
+from repro.mr.api import Context, Mapper, Partitioner, Reducer
+from repro.mr.comparators import default_comparator
+from repro.mr.cost import FixedCostMeter, TableCostMeter
+from repro.mr.counters import Counters
+
+
+class _ModPartitioner(Partitioner):
+    def get_partition(self, key, num_partitions):
+        return key % num_partitions
+
+
+class _ScriptMapper(Mapper):
+    """Emits a fixed script of records regardless of input."""
+
+    script: list[tuple[int, object]] = []
+
+    def map(self, key, value, context):
+        for out_key, out_value in self.script:
+            context.write(out_key, out_value)
+
+
+def _runtime(
+    script,
+    strategy=Strategy.ADAPTIVE,
+    threshold_t=math.inf,
+    meter=None,
+    num_reducers=4,
+) -> AntiRuntime:
+    mapper_cls = type("Scripted", (_ScriptMapper,), {"script": script})
+    return AntiRuntime(
+        mapper_factory=mapper_cls,
+        reducer_factory=Reducer,
+        combiner_factory=None,
+        partitioner=_ModPartitioner(),
+        num_reducers=num_reducers,
+        comparator=default_comparator,
+        grouping_comparator=default_comparator,
+        meter=meter if meter is not None else FixedCostMeter(),
+        config=AntiCombiningConfig(
+            threshold_t=threshold_t, strategy=strategy
+        ),
+    )
+
+
+def _run_map(runtime, input_key=0, input_value="input"):
+    counters = Counters()
+    emitted: list[tuple[object, object]] = []
+    context = Context(
+        counters,
+        lambda k, v: emitted.append((k, v)),
+        partitioner=runtime.partitioner,
+        num_partitions=runtime.num_reducers,
+    )
+    mapper = AntiMapper(runtime)
+    mapper.setup(context)
+    mapper.map(input_key, input_value, context)
+    mapper.cleanup(context)
+    return emitted, counters
+
+
+class TestEagerEncoding:
+    def test_same_value_same_partition_collapses(self) -> None:
+        script = [(0, "v"), (4, "v"), (8, "v")]
+        emitted, counters = _run_map(_runtime(script, Strategy.EAGER))
+        assert emitted == [(0, encoding.eager_value([4, 8], "v"))]
+        assert counters.get_int(C.ANTI_EAGER_RECORDS) == 1
+
+    def test_different_partitions_not_collapsed(self) -> None:
+        script = [(0, "v"), (1, "v")]
+        emitted, _ = _run_map(_runtime(script, Strategy.EAGER))
+        assert emitted == [
+            (0, encoding.plain_value("v")),
+            (1, encoding.plain_value("v")),
+        ]
+
+    def test_different_values_grouped_separately(self) -> None:
+        script = [(0, "a"), (4, "b"), (8, "a")]
+        emitted, _ = _run_map(_runtime(script, Strategy.EAGER))
+        assert (0, encoding.eager_value([8], "a")) in emitted
+        assert (4, encoding.plain_value("b")) in emitted
+
+    def test_min_key_is_representative(self) -> None:
+        script = [(8, "v"), (0, "v"), (4, "v")]
+        emitted, _ = _run_map(_runtime(script, Strategy.EAGER))
+        assert emitted[0][0] == 0
+        assert sorted(emitted[0][1].other_keys) == [4, 8]
+
+    def test_duplicate_records_preserved(self) -> None:
+        """Multiplicity must survive encoding (key *list*, not set)."""
+        script = [(0, "v"), (0, "v")]
+        emitted, _ = _run_map(_runtime(script, Strategy.EAGER))
+        assert emitted == [(0, encoding.eager_value([0], "v"))]
+
+    def test_equal_but_differently_typed_values_not_merged(self) -> None:
+        script = [(0, 1), (4, 1.0), (8, True)]
+        emitted, _ = _run_map(_runtime(script, Strategy.EAGER))
+        assert len(emitted) == 3  # 1, 1.0 and True stay distinct
+
+    def test_emitted_in_key_order(self) -> None:
+        script = [(8, "b"), (0, "a"), (4, "c")]
+        emitted, _ = _run_map(_runtime(script, Strategy.EAGER))
+        assert [key for key, _ in emitted] == [0, 4, 8]
+
+
+class TestLazyEncoding:
+    def test_one_record_per_partition(self) -> None:
+        script = [(0, "a"), (1, "b"), (4, "c"), (5, "d")]
+        emitted, counters = _run_map(
+            _runtime(script, Strategy.LAZY), input_key=7, input_value="in"
+        )
+        assert emitted == [
+            (0, encoding.lazy_value(7, "in")),
+            (1, encoding.lazy_value(7, "in")),
+        ]
+        assert counters.get_int(C.ANTI_LAZY_RECORDS) == 2
+
+    def test_min_key_per_partition(self) -> None:
+        script = [(8, "a"), (0, "b")]
+        emitted, _ = _run_map(_runtime(script, Strategy.LAZY))
+        assert emitted[0][0] == 0
+
+
+class TestAdaptiveChoice:
+    def test_picks_lazy_when_smaller(self) -> None:
+        # many distinct values -> eager degenerates to plain records,
+        # lazy sends the input once
+        script = [(4 * i, f"value-{i}") for i in range(6)]
+        emitted, counters = _run_map(
+            _runtime(script), input_value="tiny"
+        )
+        assert len(emitted) == 1
+        assert encoding.tag_of(emitted[0][1]) == encoding.LAZY
+        assert counters.get_int(C.ANTI_LAZY_RECORDS) == 1
+
+    def test_picks_eager_when_input_is_large(self) -> None:
+        script = [(0, "v"), (4, "v")]
+        emitted, _ = _run_map(
+            _runtime(script), input_value="x" * 500
+        )
+        assert encoding.tag_of(emitted[0][1]) == encoding.EAGER
+
+    def test_threshold_zero_forces_eager(self) -> None:
+        script = [(4 * i, f"value-{i}") for i in range(6)]
+        emitted, counters = _run_map(
+            _runtime(script, threshold_t=0.0), input_value="tiny"
+        )
+        assert counters.get_int(C.ANTI_LAZY_RECORDS) == 0
+        assert len(emitted) == 6  # all plain
+
+    def test_threshold_disables_lazy_for_expensive_map(self) -> None:
+        script = [(4 * i, f"value-{i}") for i in range(6)]
+        # map costs 1s per call; re-execution cost 1s * partitions > T
+        meter = TableCostMeter({"map": 1.0}, default_cost=0.0)
+        emitted, counters = _run_map(
+            _runtime(script, threshold_t=0.5, meter=meter),
+            input_value="tiny",
+        )
+        assert counters.get_int(C.ANTI_LAZY_RECORDS) == 0
+
+    def test_threshold_allows_lazy_for_cheap_map(self) -> None:
+        script = [(4 * i, f"value-{i}") for i in range(6)]
+        meter = TableCostMeter({"map": 1e-9}, default_cost=1e-9)
+        emitted, counters = _run_map(
+            _runtime(script, threshold_t=0.5, meter=meter),
+            input_value="tiny",
+        )
+        assert counters.get_int(C.ANTI_LAZY_RECORDS) == 1
+
+    def test_single_record_degenerates_to_plain(self) -> None:
+        script = [(0, "v")]
+        emitted, counters = _run_map(_runtime(script))
+        assert emitted == [(0, encoding.plain_value("v"))]
+        assert counters.get_int(C.ANTI_PLAIN_RECORDS) == 1
+
+
+class TestLifecycle:
+    def test_no_output_map_emits_nothing(self) -> None:
+        emitted, _ = _run_map(_runtime([]))
+        assert emitted == []
+
+    def test_setup_cleanup_emissions_passed_through_plain(self) -> None:
+        class Chatty(Mapper):
+            def setup(self, context):
+                context.write(0, "from-setup")
+
+            def map(self, key, value, context):
+                pass
+
+            def cleanup(self, context):
+                context.write(1, "from-cleanup")
+
+        runtime = AntiRuntime(
+            mapper_factory=Chatty,
+            reducer_factory=Reducer,
+            combiner_factory=None,
+            partitioner=_ModPartitioner(),
+            num_reducers=4,
+            comparator=default_comparator,
+            grouping_comparator=default_comparator,
+            meter=FixedCostMeter(),
+            config=AntiCombiningConfig(),
+        )
+        emitted, _ = _run_map(runtime)
+        assert emitted == [
+            (0, encoding.plain_value("from-setup")),
+            (1, encoding.plain_value("from-cleanup")),
+        ]
+
+    def test_map_before_setup_asserts(self) -> None:
+        runtime = _runtime([])
+        mapper = AntiMapper(runtime)
+        context = Context(Counters(), lambda k, v: None)
+        with pytest.raises(AssertionError):
+            mapper.map(0, "x", context)
+
+
+class TestValueGroupId:
+    def test_scalar_type_separation(self) -> None:
+        ids = {_value_group_id(v) for v in (1, 1.0, True)}
+        assert len(ids) == 3
+
+    def test_strings_and_bytes_distinct(self) -> None:
+        assert _value_group_id("a") != _value_group_id(b"a")
+
+    def test_unhashable_values(self) -> None:
+        assert _value_group_id([1, 2]) == _value_group_id([1, 2])
+        assert _value_group_id([1]) != _value_group_id([2])
+
+    def test_equal_containers_group(self) -> None:
+        assert _value_group_id((1, "a")) == _value_group_id((1, "a"))

@@ -1,0 +1,128 @@
+"""Unit tests for the call-level decision ablation (per_partition_choice)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import encoding
+from repro.core.anti_mapper import AntiMapper
+from repro.core.config import AntiCombiningConfig, Strategy
+from repro.core.runtime import AntiRuntime
+from repro.mr.api import Context, Mapper, Partitioner, Reducer
+from repro.mr.comparators import default_comparator
+from repro.mr.cost import FixedCostMeter
+from repro.mr.counters import Counters
+
+
+class _ModPartitioner(Partitioner):
+    def get_partition(self, key, num_partitions):
+        return key % num_partitions
+
+
+class _ScriptMapper(Mapper):
+    script: list = []
+
+    def map(self, key, value, context):
+        for out_key, out_value in self.script:
+            context.write(out_key, out_value)
+
+
+def _run(script, per_partition_choice, input_value="input"):
+    mapper_cls = type("Scripted", (_ScriptMapper,), {"script": script})
+    runtime = AntiRuntime(
+        mapper_factory=mapper_cls,
+        reducer_factory=Reducer,
+        combiner_factory=None,
+        partitioner=_ModPartitioner(),
+        num_reducers=2,
+        comparator=default_comparator,
+        grouping_comparator=default_comparator,
+        meter=FixedCostMeter(),
+        config=AntiCombiningConfig(
+            strategy=Strategy.ADAPTIVE,
+            threshold_t=math.inf,
+            per_partition_choice=per_partition_choice,
+        ),
+    )
+    emitted: list = []
+    context = Context(
+        Counters(),
+        lambda k, v: emitted.append((k, v)),
+        partitioner=runtime.partitioner,
+        num_partitions=2,
+    )
+    mapper = AntiMapper(runtime)
+    mapper.setup(context)
+    mapper.map(0, input_value, context)
+    mapper.cleanup(context)
+    return emitted
+
+
+# Partition 0 gets 4 records with long distinct values (lazy wins);
+# partition 1 gets one tiny record (plain wins over shipping the
+# whole input record lazily).
+MIXED_SCRIPT = [
+    (0, "long-distinct-value-zero"),
+    (2, "long-distinct-value-one"),
+    (4, "long-distinct-value-two"),
+    (6, "long-distinct-value-three"),
+    (1, "v"),
+]
+MIXED_INPUT = "medium-input"
+
+
+class TestDecisionGranularity:
+    def test_per_partition_mixes_encodings(self) -> None:
+        emitted = _run(MIXED_SCRIPT, per_partition_choice=True,
+                       input_value=MIXED_INPUT)
+        tags = {key: encoding.tag_of(component) for key, component in emitted}
+        assert tags[0] == encoding.LAZY  # 4 long values, small input
+        assert tags[1] == encoding.PLAIN  # tiny record stays plain
+
+    def test_call_level_makes_one_choice(self) -> None:
+        emitted = _run(MIXED_SCRIPT, per_partition_choice=False,
+                       input_value=MIXED_INPUT)
+        tags = {encoding.tag_of(component) for _, component in emitted}
+        # one uniform decision: everything lazy or everything eager/plain
+        assert tags <= {encoding.LAZY} or tags <= {
+            encoding.EAGER,
+            encoding.PLAIN,
+        }
+
+    def test_call_level_lazy_when_it_wins_everywhere(self) -> None:
+        script = [(0, f"a-long-distinct-value-{i}") for i in range(0, 8, 2)]
+        emitted = _run(script, per_partition_choice=False, input_value="in")
+        assert [encoding.tag_of(c) for _, c in emitted] == [encoding.LAZY]
+
+    def test_call_level_eager_when_input_is_huge(self) -> None:
+        script = [(0, "v"), (2, "v2")]
+        emitted = _run(
+            script, per_partition_choice=False, input_value="x" * 1000
+        )
+        tags = {encoding.tag_of(component) for _, component in emitted}
+        assert encoding.LAZY not in tags
+
+    def test_both_modes_decode_identically(self) -> None:
+        from repro.core.transform import enable_anti_combining
+        from repro.mr.config import JobConf
+        from repro.mr.engine import LocalJobRunner
+
+        mapper_cls = type(
+            "Scripted", (_ScriptMapper,), {"script": MIXED_SCRIPT}
+        )
+        job = JobConf(
+            mapper=mapper_cls,
+            reducer=Reducer,
+            partitioner=_ModPartitioner(),
+            num_reducers=2,
+            cost_meter=FixedCostMeter(),
+        )
+        splits = [[(0, "in"), (1, "put")]]
+        runner = LocalJobRunner()
+        base = runner.run(job, splits)
+        fine = runner.run(enable_anti_combining(job), splits)
+        coarse = runner.run(
+            enable_anti_combining(job, per_partition_choice=False), splits
+        )
+        assert fine.sorted_output() == base.sorted_output()
+        assert coarse.sorted_output() == base.sorted_output()

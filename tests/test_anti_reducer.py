@@ -1,0 +1,233 @@
+"""Unit tests for the AntiReducer decode/drain machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import encoding
+from repro.core.anti_reducer import AntiReducer, DecodeError
+from repro.core.config import AntiCombiningConfig, Strategy
+from repro.core.runtime import AntiRuntime
+from repro.mr import counters as C
+from repro.mr.api import Context, Mapper, Partitioner, Reducer
+from repro.mr.comparators import default_comparator
+from repro.mr.cost import FixedCostMeter
+from repro.mr.counters import Counters
+from repro.mr.storage import LocalStore
+
+
+class _ModPartitioner(Partitioner):
+    def get_partition(self, key, num_partitions):
+        return key % num_partitions
+
+
+class _PrefixSumMapper(Mapper):
+    """Deterministic fan-out mapper used for LazySH re-execution."""
+
+    def map(self, key, value, context):
+        for i in range(1, value + 1):
+            context.write(key * 10 + i, f"out-{key}-{i}")
+
+
+class _CollectReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.write(key, list(values))
+
+
+def _runtime(mapper_factory=_PrefixSumMapper, **config_kwargs) -> AntiRuntime:
+    return AntiRuntime(
+        mapper_factory=mapper_factory,
+        reducer_factory=_CollectReducer,
+        combiner_factory=None,
+        partitioner=_ModPartitioner(),
+        num_reducers=2,
+        comparator=default_comparator,
+        grouping_comparator=default_comparator,
+        meter=FixedCostMeter(),
+        config=AntiCombiningConfig(**config_kwargs),
+    )
+
+
+def _run_reduce(runtime, groups, partition=0):
+    """Feed encoded groups (sorted by key) through an AntiReducer."""
+    counters = Counters()
+    store = LocalStore(counters)
+    output: list[tuple[object, object]] = []
+    context = Context(
+        counters,
+        lambda k, v: output.append((k, v)),
+        partitioner=runtime.partitioner,
+        num_partitions=runtime.num_reducers,
+        task_id="reduce0",
+        partition=partition,
+        store=store,
+    )
+    reducer = AntiReducer(runtime)
+    reducer.setup(context)
+    for key, values in groups:
+        reducer.reduce(key, iter(values), context)
+    reducer.cleanup(context)
+    return output, counters
+
+
+class TestPlainDecoding:
+    def test_plain_records_pass_through(self) -> None:
+        output, _ = _run_reduce(
+            _runtime(),
+            [
+                (2, [encoding.plain_value("a"), encoding.plain_value("b")]),
+                (4, [encoding.plain_value("c")]),
+            ],
+        )
+        assert output == [(2, ["a", "b"]), (4, ["c"])]
+
+
+class TestEagerDecoding:
+    def test_other_keys_delivered_later(self) -> None:
+        output, _ = _run_reduce(
+            _runtime(),
+            [(2, [encoding.eager_value([4, 6], "shared")])],
+        )
+        assert output == [
+            (2, ["shared"]),
+            (4, ["shared"]),
+            (6, ["shared"]),
+        ]
+
+    def test_decoded_key_merges_with_regular_input(self) -> None:
+        output, _ = _run_reduce(
+            _runtime(),
+            [
+                (2, [encoding.eager_value([4], "shared")]),
+                (4, [encoding.plain_value("direct")]),
+            ],
+        )
+        assert output[0] == (2, ["shared"])
+        key, values = output[1]
+        assert key == 4
+        assert sorted(values) == ["direct", "shared"]
+
+    def test_reduce_calls_in_ascending_key_order(self) -> None:
+        output, _ = _run_reduce(
+            _runtime(),
+            [
+                (0, [encoding.eager_value([8], "v0")]),
+                (2, [encoding.eager_value([6], "v2")]),
+                (4, [encoding.plain_value("v4")]),
+            ],
+        )
+        assert [key for key, _ in output] == [0, 2, 4, 6, 8]
+
+    def test_duplicate_encoded_key(self) -> None:
+        output, _ = _run_reduce(
+            _runtime(),
+            [(2, [encoding.eager_value([2, 2], "v")])],
+        )
+        assert output == [(2, ["v", "v", "v"])]
+
+
+class TestLazyDecoding:
+    def test_reexecutes_map_and_filters_partition(self) -> None:
+        # input record (1, 3): map emits keys 11, 12, 13; partitions
+        # 1, 0, 1 under mod 2.  Reduce task 0 must only see key 12.
+        output, counters = _run_reduce(
+            _runtime(),
+            [(12, [encoding.lazy_value(1, 3)])],
+            partition=0,
+        )
+        assert output == [(12, ["out-1-2"])]
+        assert counters.get_int(C.ANTI_REDUCE_MAP_REEXECUTIONS) == 1
+
+    def test_lazy_delivers_all_partition_keys(self) -> None:
+        # partition 1 receives keys 11 and 13 from the same input
+        output, _ = _run_reduce(
+            _runtime(),
+            [(11, [encoding.lazy_value(1, 3)])],
+            partition=1,
+        )
+        assert output == [(11, ["out-1-1"]), (13, ["out-1-3"])]
+
+    def test_nondeterministic_map_detected(self) -> None:
+        class WrongPartitionMapper(Mapper):
+            def map(self, key, value, context):
+                context.write(1, "always-partition-1")
+
+        with pytest.raises(DecodeError, match="non-deterministic"):
+            _run_reduce(
+                _runtime(mapper_factory=WrongPartitionMapper),
+                [(0, [encoding.lazy_value(0, 0)])],
+                partition=0,
+            )
+
+    def test_mixed_eager_and_lazy_for_same_key(self) -> None:
+        output, _ = _run_reduce(
+            _runtime(),
+            [
+                (
+                    12,
+                    [
+                        encoding.lazy_value(1, 3),
+                        encoding.plain_value("extra"),
+                    ],
+                )
+            ],
+            partition=0,
+        )
+        key, values = output[0]
+        assert key == 12
+        assert sorted(values) == ["extra", "out-1-2"]
+
+
+class TestCleanup:
+    def test_cleanup_drains_shared(self) -> None:
+        # All keys arrive encoded under the minimal key; the trailing
+        # keys exist only in Shared and must be reduced at cleanup.
+        output, _ = _run_reduce(
+            _runtime(),
+            [(0, [encoding.eager_value([100, 200], "v")])],
+        )
+        assert [key for key, _ in output] == [0, 100, 200]
+
+    def test_empty_input(self) -> None:
+        output, _ = _run_reduce(_runtime(), [])
+        assert output == []
+
+
+class TestSetupValidation:
+    def test_requires_store(self) -> None:
+        runtime = _runtime()
+        context = Context(
+            Counters(), lambda k, v: None, partition=0, store=None
+        )
+        with pytest.raises(DecodeError, match="store"):
+            AntiReducer(runtime).setup(context)
+
+    def test_requires_partition(self) -> None:
+        runtime = _runtime()
+        context = Context(
+            Counters(),
+            lambda k, v: None,
+            partition=None,
+            store=LocalStore(Counters()),
+        )
+        with pytest.raises(DecodeError, match="partition"):
+            AntiReducer(runtime).setup(context)
+
+    def test_reduce_before_setup_asserts(self) -> None:
+        reducer = AntiReducer(_runtime())
+        with pytest.raises(AssertionError):
+            reducer.reduce(0, iter([]), Context(Counters(), lambda k, v: None))
+
+
+class TestSharedSpillingDuringDecode:
+    def test_small_shared_budget_still_correct(self) -> None:
+        runtime = _runtime(shared_memory_bytes=1024)
+        groups = [
+            (
+                0,
+                [encoding.eager_value(list(range(100, 400, 2)), "x" * 50)],
+            )
+        ]
+        output, counters = _run_reduce(runtime, groups)
+        assert [key for key, _ in output] == [0] + list(range(100, 400, 2))
+        assert counters.get_int(C.ANTI_SHARED_SPILLS) > 0

@@ -1,0 +1,121 @@
+"""Unit tests for the job API: contexts, partitioners, base classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr.api import (
+    Combiner,
+    Context,
+    HashPartitioner,
+    KeyFieldPartitioner,
+    Mapper,
+    Reducer,
+    run_reducer_on_group,
+    stable_hash,
+)
+from repro.mr.counters import Counters
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self) -> None:
+        assert stable_hash("query") == stable_hash("query")
+
+    def test_spread(self) -> None:
+        values = {stable_hash(f"key{i}") for i in range(100)}
+        assert len(values) > 90
+
+    def test_works_for_compound_keys(self) -> None:
+        assert stable_hash(("row", 7)) != stable_hash(("col", 7))
+
+
+class TestPartitioners:
+    def test_hash_partitioner_range(self) -> None:
+        partitioner = HashPartitioner()
+        for key in ["a", "b", 1, (2, 3), None]:
+            assert 0 <= partitioner.get_partition(key, 7) < 7
+
+    def test_hash_partitioner_stable(self) -> None:
+        partitioner = HashPartitioner()
+        assert partitioner.get_partition("x", 5) == partitioner.get_partition("x", 5)
+
+    def test_key_field_partitioner(self) -> None:
+        partitioner = KeyFieldPartitioner(lambda key: key[0])
+        assert partitioner.get_partition(("a", 1), 9) == partitioner.get_partition(
+            ("a", 2), 9
+        )
+
+    def test_base_partitioner_abstract(self) -> None:
+        from repro.mr.api import Partitioner
+
+        with pytest.raises(NotImplementedError):
+            Partitioner().get_partition("k", 2)
+
+
+class TestContext:
+    def test_write_goes_to_sink(self) -> None:
+        collected = []
+        ctx = Context(Counters(), lambda k, v: collected.append((k, v)))
+        ctx.write("k", "v")
+        ctx.emit("k2", "v2")
+        assert collected == [("k", "v"), ("k2", "v2")]
+
+    def test_with_sink_overrides_sink_only(self) -> None:
+        ctx = Context(
+            Counters(),
+            lambda k, v: None,
+            partitioner=HashPartitioner(),
+            num_partitions=3,
+            task_id="t",
+            partition=1,
+        )
+        collected = []
+        new_ctx = ctx.with_sink(lambda k, v: collected.append((k, v)))
+        new_ctx.write("a", 1)
+        assert collected == [("a", 1)]
+        assert new_ctx.partition == 1
+        assert new_ctx.num_partitions == 3
+        assert new_ctx.counters is ctx.counters
+
+    def test_with_sink_partition_override(self) -> None:
+        ctx = Context(Counters(), lambda k, v: None, partition=1)
+        assert ctx.with_sink(lambda k, v: None, partition=5).partition == 5
+
+    def test_get_partition(self) -> None:
+        ctx = Context(
+            Counters(),
+            lambda k, v: None,
+            partitioner=HashPartitioner(),
+            num_partitions=4,
+        )
+        assert 0 <= ctx.get_partition("key") < 4
+
+    def test_get_partition_without_partitioner(self) -> None:
+        ctx = Context(Counters(), lambda k, v: None)
+        with pytest.raises(RuntimeError):
+            ctx.get_partition("key")
+
+
+class TestBaseClasses:
+    def test_identity_mapper(self) -> None:
+        collected = []
+        ctx = Context(Counters(), lambda k, v: collected.append((k, v)))
+        Mapper().map("k", "v", ctx)
+        assert collected == [("k", "v")]
+
+    def test_identity_reducer(self) -> None:
+        collected = []
+        ctx = Context(Counters(), lambda k, v: collected.append((k, v)))
+        Reducer().reduce("k", iter([1, 2]), ctx)
+        assert collected == [("k", 1), ("k", 2)]
+
+    def test_combiner_is_a_reducer(self) -> None:
+        assert issubclass(Combiner, Reducer)
+
+    def test_run_reducer_on_group(self) -> None:
+        class Summing(Reducer):
+            def reduce(self, key, values, context):
+                context.write(key, sum(values))
+
+        ctx = Context(Counters(), lambda k, v: None)
+        assert run_reducer_on_group(Summing(), "k", [1, 2, 3], ctx) == [("k", 6)]

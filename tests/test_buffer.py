@@ -1,0 +1,198 @@
+"""Unit tests for the map-side sort buffer (collect/spill/combine/merge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr import counters as C
+from repro.mr.api import Combiner, Context, HashPartitioner, Mapper, Partitioner, Reducer
+from repro.mr.buffer import MapOutputBuffer
+from repro.mr.config import JobConf
+from repro.mr.counters import Counters
+from repro.mr.cost import FixedCostMeter
+from repro.mr.storage import LocalStore
+
+
+class _ModPartitioner(Partitioner):
+    def get_partition(self, key, num_partitions):
+        return key % num_partitions
+
+
+class _SumCombiner(Combiner):
+    def reduce(self, key, values, context):
+        context.write(key, sum(values))
+
+
+def _make_buffer(**job_kwargs):
+    defaults = dict(
+        mapper=Mapper,
+        reducer=Reducer,
+        partitioner=_ModPartitioner(),
+        num_reducers=4,
+        cost_meter=FixedCostMeter(),
+        sort_buffer_bytes=64 * 1024,
+    )
+    defaults.update(job_kwargs)
+    job = JobConf(**defaults)
+    counters = Counters()
+    store = LocalStore(counters)
+    context = Context(
+        counters=counters,
+        sink=lambda k, v: None,
+        partitioner=job.partitioner,
+        num_partitions=job.num_reducers,
+        task_id="map0",
+        store=store,
+    )
+    return MapOutputBuffer(job, store, context, "map0"), counters, store
+
+
+def _all_records(segments):
+    return {
+        partition: list(segment.scan())
+        for partition, segment in segments.items()
+    }
+
+
+class TestCollect:
+    def test_in_memory_finalize(self) -> None:
+        buffer, counters, _ = _make_buffer()
+        buffer.collect(0, "a")
+        buffer.collect(1, "b")
+        buffer.collect(4, "c")  # partition 0 again
+        segments = buffer.finalize()
+        records = _all_records(segments)
+        assert records[0] == [(0, "a"), (4, "c")]
+        assert records[1] == [(1, "b")]
+        assert counters.get_int(C.MAP_OUTPUT_RECORDS) == 3
+        assert counters.get(C.MAP_OUTPUT_BYTES) > 0
+        assert buffer.spill_count == 0
+
+    def test_records_sorted_within_partition(self) -> None:
+        buffer, _, _ = _make_buffer()
+        for key in (8, 0, 4):
+            buffer.collect(key, "v")
+        records = _all_records(buffer.finalize())
+        assert [k for k, _ in records[0]] == [0, 4, 8]
+
+    def test_invalid_partition_rejected(self) -> None:
+        class Bad(Partitioner):
+            def get_partition(self, key, num_partitions):
+                return num_partitions  # out of range
+
+        buffer, _, _ = _make_buffer(partitioner=Bad())
+        with pytest.raises(ValueError, match="outside"):
+            buffer.collect(1, "v")
+
+    def test_collect_after_finalize_rejected(self) -> None:
+        buffer, _, _ = _make_buffer()
+        buffer.finalize()
+        with pytest.raises(RuntimeError):
+            buffer.collect(0, "v")
+        with pytest.raises(RuntimeError):
+            buffer.finalize()
+
+    def test_partition_cpu_charged(self) -> None:
+        buffer, counters, _ = _make_buffer()
+        buffer.collect(0, "a")
+        assert counters.get(C.CPU_PARTITION_SECONDS) == pytest.approx(1e-6)
+
+
+class TestSpilling:
+    def test_spill_on_bytes(self) -> None:
+        buffer, counters, _ = _make_buffer(sort_buffer_bytes=1024)
+        for i in range(100):
+            buffer.collect(i, "x" * 40)
+        assert buffer.spill_count >= 1
+        assert counters.get_int(C.MAP_SPILLS) == buffer.spill_count
+
+    def test_spill_on_record_count(self) -> None:
+        # 16 KiB * 0.05 / 16 = 51 records per spill window.
+        buffer, counters, _ = _make_buffer(sort_buffer_bytes=16 * 1024)
+        for i in range(103):
+            buffer.collect(i, 0)
+        assert buffer.spill_count == 2
+        assert counters.get_int(C.MAP_SPILLED_RECORDS) == 102
+
+    def test_merged_output_is_sorted(self) -> None:
+        buffer, counters, _ = _make_buffer(sort_buffer_bytes=2048)
+        import random
+
+        rng = random.Random(3)
+        keys = [rng.randrange(1000) * 4 for _ in range(300)]  # partition 0
+        for key in keys:
+            buffer.collect(key, "payload")
+        segments = buffer.finalize()
+        merged_keys = [k for k, _ in segments[0].scan()]
+        assert merged_keys == sorted(keys)
+        assert counters.get_int(C.MAP_SPILLS) > 1
+
+    def test_multi_pass_merge_with_small_factor(self) -> None:
+        buffer, _, _ = _make_buffer(sort_buffer_bytes=1024, merge_factor=2)
+        keys = list(range(0, 1200, 4))
+        for key in keys:
+            buffer.collect(key, "x" * 30)
+        segments = buffer.finalize()
+        assert [k for k, _ in segments[0].scan()] == sorted(keys)
+
+    def test_single_spill_becomes_final_output(self) -> None:
+        """One spill + empty buffer = rename, no extra disk traffic."""
+        buffer, counters, _ = _make_buffer(sort_buffer_bytes=16 * 1024)
+        for i in range(51):  # exactly one record-limit spill
+            buffer.collect(i, 0)
+        write_after_spill = counters.get(C.DISK_WRITE_BYTES)
+        segments = buffer.finalize()
+        assert counters.get(C.DISK_WRITE_BYTES) == write_after_spill
+        assert sum(s.record_count for s in segments.values()) == 51
+
+
+class TestCompression:
+    def test_compressed_segments_smaller(self) -> None:
+        plain, _, _ = _make_buffer()
+        packed, _, _ = _make_buffer(map_output_codec="gzip")
+        for buffer in (plain, packed):
+            for i in range(200):
+                buffer.collect(0, "repetitive payload " * 3)
+        plain_size = sum(s.size_bytes for s in plain.finalize().values())
+        packed_size = sum(s.size_bytes for s in packed.finalize().values())
+        assert packed_size < plain_size / 2
+
+    def test_materialized_counter_tracks_segments(self) -> None:
+        buffer, counters, _ = _make_buffer()
+        buffer.collect(0, "abc")
+        segments = buffer.finalize()
+        total = sum(s.size_bytes for s in segments.values())
+        assert counters.get_int(C.MAP_OUTPUT_MATERIALIZED_BYTES) == total
+
+
+class TestSpillCombine:
+    def test_combiner_applied_per_spill(self) -> None:
+        buffer, counters, _ = _make_buffer(
+            combiner=_SumCombiner, sort_buffer_bytes=16 * 1024
+        )
+        for _ in range(60):  # > 51, so one spill plus in-memory tail
+            buffer.collect(4, 1)
+        segments = buffer.finalize()
+        records = list(segments[0].scan())
+        # one combined record per spill window
+        assert [k for k, _ in records] == [4, 4]
+        assert sum(v for _, v in records) == 60
+        assert counters.get_int(C.COMBINE_INPUT_RECORDS) == 60
+        assert counters.get_int(C.COMBINE_OUTPUT_RECORDS) == 2
+
+    def test_combiner_at_final_merge_needs_min_spills(self) -> None:
+        buffer, _, _ = _make_buffer(
+            combiner=_SumCombiner, sort_buffer_bytes=16 * 1024
+        )
+        for _ in range(51 * 3 + 10):  # >= 3 spills triggers merge combine
+            buffer.collect(4, 1)
+        segments = buffer.finalize()
+        records = list(segments[0].scan())
+        assert records == [(4, 163)]
+
+    def test_combine_cpu_charged(self) -> None:
+        buffer, counters, _ = _make_buffer(combiner=_SumCombiner)
+        buffer.collect(0, 1)
+        buffer.collect(0, 2)
+        buffer.finalize()
+        assert counters.get(C.CPU_COMBINE_SECONDS) > 0

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import (
+    EXPERIMENTS,
+    _convert,
+    _parse_overrides,
+    _tunable_params,
+    main,
+)
+from repro.experiments import run_fig9
+
+
+class TestRegistry:
+    def test_every_entry_is_callable(self) -> None:
+        for name, (fn, description) in EXPERIMENTS.items():
+            assert callable(fn), name
+            assert description
+
+    def test_names_are_cli_friendly(self) -> None:
+        for name in EXPERIMENTS:
+            assert " " not in name
+            assert name == name.lower()
+
+
+class TestParamParsing:
+    def test_tunable_params(self) -> None:
+        params = _tunable_params(run_fig9)
+        assert params["num_queries"] == 6000
+        assert params["num_reducers"] == 8
+
+    def test_convert_types(self) -> None:
+        assert _convert("42", 0) == 42
+        assert _convert("2.5", 0.0) == 2.5
+        assert _convert("text", "default") == "text"
+        assert _convert("true", False) is True
+        assert _convert("off", True) is False
+
+    def test_convert_bad_bool(self) -> None:
+        with pytest.raises(ValueError):
+            _convert("maybe", True)
+
+    def test_parse_overrides(self) -> None:
+        overrides = _parse_overrides(
+            ["--num-queries", "100", "--seed", "7"], run_fig9
+        )
+        assert overrides == {"num_queries": 100, "seed": 7}
+
+    def test_unknown_param(self) -> None:
+        with pytest.raises(ValueError, match="unknown parameter"):
+            _parse_overrides(["--bogus", "1"], run_fig9)
+
+    def test_missing_value(self) -> None:
+        with pytest.raises(ValueError, match="missing value"):
+            _parse_overrides(["--num-queries"], run_fig9)
+
+    def test_not_a_flag(self) -> None:
+        with pytest.raises(ValueError, match="expected --param"):
+            _parse_overrides(["num-queries", "1"], run_fig9)
+
+
+class TestCommands:
+    def test_list(self, capsys) -> None:
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_small_experiment(self, capsys) -> None:
+        status = main(
+            [
+                "run",
+                "sec71",
+                "--num-lines",
+                "120",
+                "--num-reducers",
+                "2",
+                "--num-splits",
+                "2",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Section 7.1" in out
+
+    def test_run_unknown(self, capsys) -> None:
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_bad_override(self, capsys) -> None:
+        assert main(["run", "sec71", "--bogus", "1"]) == 2
+        assert "error" in capsys.readouterr().err

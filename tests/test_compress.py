@@ -1,0 +1,80 @@
+"""Unit tests for the compression codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr.compress import available_codecs, get_codec
+
+
+def _compressible_payload() -> bytes:
+    words = ["mango", "manga", "sigmod", "prefix", "query"]
+    return (" ".join(words * 400)).encode()
+
+
+class TestCodecRoundtrips:
+    @pytest.mark.parametrize("name", ["none", "deflate", "gzip", "bzip2", "snappy"])
+    def test_roundtrip(self, name: str) -> None:
+        codec = get_codec(name)
+        payload = _compressible_payload()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    @pytest.mark.parametrize("name", ["deflate", "gzip", "bzip2", "snappy"])
+    def test_empty_payload(self, name: str) -> None:
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    @pytest.mark.parametrize("name", ["deflate", "gzip", "bzip2", "snappy"])
+    def test_incompressible_payload(self, name: str) -> None:
+        import random
+
+        rng = random.Random(7)
+        payload = bytes(rng.randrange(256) for _ in range(4096))
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_deterministic_output(self) -> None:
+        # gzip normally embeds a timestamp; ours must not.
+        codec = get_codec("gzip")
+        payload = _compressible_payload()
+        assert codec.compress(payload) == codec.compress(payload)
+
+
+class TestCodecProperties:
+    def test_ratio_ordering(self) -> None:
+        """The Table 1 size ordering: bzip2 <= gzip/deflate < snappy < none."""
+        payload = _compressible_payload()
+        sizes = {
+            name: len(get_codec(name).compress(payload))
+            for name in ("deflate", "gzip", "bzip2", "snappy", "none")
+        }
+        assert sizes["bzip2"] < sizes["snappy"]
+        assert sizes["deflate"] < sizes["snappy"]
+        assert sizes["gzip"] < sizes["snappy"]
+        assert sizes["snappy"] < sizes["none"]
+        # the gzip container adds a constant header over raw deflate
+        assert sizes["gzip"] - sizes["deflate"] < 32
+
+    def test_identity_codec(self) -> None:
+        codec = get_codec(None)
+        assert codec.compress(b"abc") == b"abc"
+        assert codec.name == "none"
+
+
+class TestRegistry:
+    def test_available(self) -> None:
+        assert set(available_codecs()) == {
+            "none",
+            "deflate",
+            "gzip",
+            "bzip2",
+            "snappy",
+        }
+
+    def test_unknown_codec(self) -> None:
+        with pytest.raises(ValueError, match="unknown codec"):
+            get_codec("lz4")
+
+    def test_none_means_identity(self) -> None:
+        assert get_codec(None).name == "none"
+        assert get_codec("none").name == "none"

@@ -1,0 +1,84 @@
+"""Unit tests for JobConf validation and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr.api import HashPartitioner, Mapper, Reducer
+from repro.mr.comparators import comparator_from_key, default_comparator
+from repro.mr.config import JobConf, JobConfError
+
+
+def _job(**kwargs) -> JobConf:
+    defaults = dict(mapper=Mapper, reducer=Reducer)
+    defaults.update(kwargs)
+    return JobConf(**defaults)
+
+
+class TestValidation:
+    def test_minimal_valid(self) -> None:
+        job = _job()
+        assert job.num_reducers == 1
+        assert isinstance(job.partitioner, HashPartitioner)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_reducers": 0},
+            {"sort_buffer_bytes": 10},
+            {"merge_factor": 1},
+            {"mapper": "not-a-factory"},
+            {"reducer": 42},
+            {"combiner": 42},
+            {"map_output_codec": "lz4"},
+            {"sort_record_percent": 0},
+            {"sort_record_percent": 1.5},
+        ],
+    )
+    def test_invalid_configs(self, kwargs) -> None:
+        with pytest.raises((JobConfError, ValueError)):
+            _job(**kwargs)
+
+
+class TestHelpers:
+    def test_factories_produce_fresh_instances(self) -> None:
+        job = _job()
+        assert job.make_mapper() is not job.make_mapper()
+        assert job.make_reducer() is not job.make_reducer()
+        assert job.make_combiner() is None
+
+    def test_combiner_factory(self) -> None:
+        from repro.mr.api import Combiner
+
+        job = _job(combiner=Combiner)
+        assert isinstance(job.make_combiner(), Combiner)
+
+    def test_grouping_defaults_to_sort_comparator(self) -> None:
+        job = _job()
+        assert job.effective_grouping_comparator is default_comparator
+        grouping = comparator_from_key(lambda k: k[0])
+        job2 = _job(grouping_comparator=grouping)
+        assert job2.effective_grouping_comparator is grouping
+
+    def test_get_partition_delegates(self) -> None:
+        job = _job(num_reducers=5)
+        assert 0 <= job.get_partition("key") < 5
+
+    def test_clone_overrides(self) -> None:
+        job = _job(num_reducers=2, name="orig")
+        clone = job.clone(name="copy", num_reducers=4)
+        assert clone.name == "copy"
+        assert clone.num_reducers == 4
+        assert job.name == "orig"
+        assert job.num_reducers == 2
+
+    def test_clone_validates(self) -> None:
+        with pytest.raises(JobConfError):
+            _job().clone(num_reducers=0)
+
+    def test_sort_record_limit(self) -> None:
+        job = _job(sort_buffer_bytes=16 * 1024, sort_record_percent=0.05)
+        # 16384 * 0.05 / 16 = 51
+        assert job.sort_record_limit == 51
+        tiny = _job(sort_buffer_bytes=1024, sort_record_percent=0.01)
+        assert tiny.sort_record_limit == 1  # never zero

@@ -1,0 +1,80 @@
+"""Unit tests for cost meters and the framework cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr.cost import (
+    CostMeter,
+    FixedCostMeter,
+    FrameworkCostModel,
+    PerfCounterMeter,
+    TableCostMeter,
+)
+
+
+class TestMeters:
+    def test_base_meter_abstract(self) -> None:
+        with pytest.raises(NotImplementedError):
+            CostMeter().measure(lambda: None)
+
+    def test_perf_counter_returns_result_and_positive_cost(self) -> None:
+        result, cost = PerfCounterMeter().measure(lambda x: x + 1, 41)
+        assert result == 42
+        assert cost >= 0
+
+    def test_fixed_meter_deterministic(self) -> None:
+        meter = FixedCostMeter(cost_per_call=0.5)
+        result, cost = meter.measure(lambda: "ok")
+        assert (result, cost) == ("ok", 0.5)
+        meter.measure(lambda: None)
+        assert meter.calls == 2
+
+    def test_table_meter_by_name(self) -> None:
+        def expensive():
+            return 1
+
+        def cheap():
+            return 2
+
+        meter = TableCostMeter({"expensive": 9.0}, default_cost=0.1)
+        assert meter.measure(expensive) == (1, 9.0)
+        assert meter.measure(cheap) == (2, 0.1)
+
+    def test_meters_forward_arguments(self) -> None:
+        meter = FixedCostMeter()
+        result, _ = meter.measure(lambda a, b=0: a + b, 1, b=2)
+        assert result == 3
+
+
+class TestFrameworkCostModel:
+    def test_sort_cost_monotone(self) -> None:
+        model = FrameworkCostModel()
+        assert model.sort_cost(0) == 0
+        assert model.sort_cost(1) == 0
+        assert model.sort_cost(100) < model.sort_cost(1000)
+
+    def test_sort_cost_superlinear(self) -> None:
+        model = FrameworkCostModel()
+        assert model.sort_cost(2000) > 2 * model.sort_cost(1000)
+
+    def test_merge_cost(self) -> None:
+        model = FrameworkCostModel()
+        assert model.merge_cost(0, 4) == 0
+        single = model.merge_cost(100, 1)
+        many = model.merge_cost(100, 8)
+        assert many > single  # log(k) comparisons per record
+
+    def test_serialize_and_stream_linear(self) -> None:
+        model = FrameworkCostModel()
+        assert model.serialize_cost(2000) == 2 * model.serialize_cost(1000)
+        assert model.stream_cost(2000) == 2 * model.stream_cost(1000)
+
+    def test_record_cost(self) -> None:
+        model = FrameworkCostModel()
+        assert model.record_cost(10) == 10 * model.per_record_sec
+
+    def test_frozen(self) -> None:
+        model = FrameworkCostModel()
+        with pytest.raises(Exception):
+            model.compare_sec = 1.0  # type: ignore[misc]

@@ -1,0 +1,69 @@
+"""Unit tests for the counters facility."""
+
+from __future__ import annotations
+
+from repro.mr import counters as C
+from repro.mr.counters import Counters
+
+
+class TestCounters:
+    def test_default_zero(self) -> None:
+        assert Counters().get("missing") == 0
+        assert Counters().get_int("missing") == 0
+
+    def test_add_and_get(self) -> None:
+        counters = Counters()
+        counters.add("x")
+        counters.add("x", 2.5)
+        assert counters.get("x") == 3.5
+        assert counters.get_int("x") == 3
+
+    def test_merge(self) -> None:
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 5
+        # merge must not mutate the source
+        assert b.get("x") == 2
+
+    def test_merge_mapping(self) -> None:
+        counters = Counters()
+        counters.merge_mapping({"a": 1, "b": 2})
+        counters.merge_mapping({"a": 1})
+        assert counters.get("a") == 2
+        assert counters.get("b") == 2
+
+    def test_names_sorted(self) -> None:
+        counters = Counters()
+        counters.add("zeta")
+        counters.add("alpha")
+        assert list(counters.names()) == ["alpha", "zeta"]
+
+    def test_snapshot_prefix(self) -> None:
+        counters = Counters()
+        counters.add("cpu.map.seconds", 1)
+        counters.add("cpu.reduce.seconds", 2)
+        counters.add("disk.read.bytes", 3)
+        snap = counters.snapshot("cpu.")
+        assert snap == {"cpu.map.seconds": 1, "cpu.reduce.seconds": 2}
+
+    def test_as_dict_is_copy(self) -> None:
+        counters = Counters()
+        counters.add("x", 1)
+        d = counters.as_dict()
+        d["x"] = 99
+        assert counters.get("x") == 1
+
+    def test_total_cpu_seconds(self) -> None:
+        counters = Counters()
+        counters.add(C.CPU_MAP_SECONDS, 1)
+        counters.add(C.CPU_REDUCE_SECONDS, 2)
+        counters.add(C.CPU_COMBINE_SECONDS, 3)
+        counters.add(C.CPU_PARTITION_SECONDS, 4)
+        counters.add(C.CPU_FRAMEWORK_SECONDS, 5)
+        counters.add(C.CPU_CODEC_SECONDS, 6)
+        counters.add(C.DISK_READ_BYTES, 1000)  # not CPU
+        assert counters.total_cpu_seconds() == 21

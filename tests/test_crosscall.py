@@ -1,0 +1,134 @@
+"""Tests for the cross-call Anti-Combining extension (paper Sec. 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crosscall import (
+    CrossCallAntiMapper,
+    enable_cross_call_anti_combining,
+)
+from repro.core.transform import enable_anti_combining
+from repro.core.config import Strategy
+from repro.mr import counters as C
+from repro.mr.api import Mapper, Partitioner, Reducer
+from repro.mr.config import JobConf
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+
+
+class _ModPartitioner(Partitioner):
+    def get_partition(self, key, num_partitions):
+        return key % num_partitions
+
+
+class _EchoMapper(Mapper):
+    """Each input emits (value, 'payload') — sharing only ACROSS calls."""
+
+    def map(self, key, value, context):
+        context.write(value, "payload")
+
+
+class _CollectReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.write(key, sorted(values))
+
+
+def _job(**kwargs) -> JobConf:
+    defaults = dict(
+        mapper=_EchoMapper,
+        reducer=_CollectReducer,
+        partitioner=_ModPartitioner(),
+        num_reducers=2,
+        cost_meter=FixedCostMeter(),
+    )
+    defaults.update(kwargs)
+    return JobConf(**defaults)
+
+
+class TestCrossCallSharing:
+    def test_shares_across_calls(self) -> None:
+        # 6 inputs with 3 distinct output keys, same value everywhere:
+        # per-call sharing finds nothing (1 record per call), cross-call
+        # collapses each (partition, value) group to one record.
+        records = [(i, i % 3 * 2) for i in range(6)]  # keys 0, 2, 4
+        splits = split_records(records, num_splits=1)
+        job = _job()
+        base = LocalJobRunner().run(job, splits)
+        per_call = LocalJobRunner().run(
+            enable_anti_combining(job, strategy=Strategy.EAGER), splits
+        )
+        cross_call = LocalJobRunner().run(
+            enable_cross_call_anti_combining(job), splits
+        )
+        assert cross_call.sorted_output() == base.sorted_output()
+        assert per_call.map_output_records == base.map_output_records
+        assert cross_call.map_output_records == 1  # one group, one record
+
+    def test_window_flushes_bound_memory(self) -> None:
+        class WideKeyMapper(Mapper):
+            """Distinct wide keys, few shared values: the window fills."""
+
+            def map(self, key, value, context):
+                context.write(value * 1_000_003, f"v{value % 5}")
+
+        records = [(i, i) for i in range(400)]
+        splits = split_records(records, num_splits=1)
+        job = _job(mapper=WideKeyMapper)
+        small_window = LocalJobRunner().run(
+            enable_cross_call_anti_combining(job, window_bytes=1024),
+            splits,
+        )
+        base = LocalJobRunner().run(job, splits)
+        assert small_window.sorted_output() == base.sorted_output()
+        # multiple flushes -> more than one record per (partition,
+        # value) group (10 groups), but far fewer than one per input
+        assert 10 < small_window.map_output_records < 400
+
+    def test_correct_across_partitions_and_splits(self) -> None:
+        records = [(i, i % 7) for i in range(50)]
+        splits = split_records(records, num_splits=4)
+        job = _job(num_reducers=3)
+        base = LocalJobRunner().run(job, splits)
+        cross = LocalJobRunner().run(
+            enable_cross_call_anti_combining(job), splits
+        )
+        assert cross.sorted_output() == base.sorted_output()
+
+    def test_counters_track_encodings(self) -> None:
+        records = [(i, 0) for i in range(5)]
+        job = _job()
+        result = LocalJobRunner().run(
+            enable_cross_call_anti_combining(job),
+            split_records(records, num_splits=1),
+        )
+        assert result.counters.get_int(C.ANTI_EAGER_RECORDS) == 1
+        assert result.counters.get_int(C.ANTI_LAZY_RECORDS) == 0
+
+    def test_rejects_double_transform(self) -> None:
+        anti = enable_anti_combining(_job())
+        with pytest.raises(ValueError, match="already"):
+            enable_cross_call_anti_combining(anti)
+
+    def test_rejects_tiny_window(self) -> None:
+        with pytest.raises(ValueError):
+            enable_cross_call_anti_combining(_job(), window_bytes=10)
+        with pytest.raises(ValueError):
+            CrossCallAntiMapper(None, 10)  # type: ignore[arg-type]
+
+    def test_works_with_query_suggestion(self) -> None:
+        from repro.datagen.qlog import generate_query_log
+        from repro.workloads.query_suggestion import query_suggestion_job
+
+        log = generate_query_log(300, seed=5, pool_factor=0.3)
+        splits = split_records(log, num_splits=3)
+        job = query_suggestion_job(
+            num_reducers=4, cost_meter=FixedCostMeter()
+        )
+        base = LocalJobRunner().run(job, splits)
+        cross = LocalJobRunner().run(
+            enable_cross_call_anti_combining(job), splits
+        )
+        assert cross.sorted_output() == base.sorted_output()
+        assert cross.map_output_bytes < base.map_output_bytes

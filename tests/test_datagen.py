@@ -1,0 +1,175 @@
+"""Tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.cloud import generate_cloud_reports
+from repro.datagen.qlog import average_query_length, generate_query_log
+from repro.datagen.randomtext import generate_random_text
+from repro.datagen.webgraph import generate_web_graph, total_edges
+from repro.datagen.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_range(self) -> None:
+        sampler = ZipfSampler(10, s=1.0, seed=1)
+        samples = sampler.sample_many(500)
+        assert all(0 <= s < 10 for s in samples)
+
+    def test_skew(self) -> None:
+        sampler = ZipfSampler(100, s=1.2, seed=2)
+        samples = sampler.sample_many(2000)
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.4
+
+    def test_uniform_when_s_zero(self) -> None:
+        sampler = ZipfSampler(10, s=0.0, seed=3)
+        samples = sampler.sample_many(5000)
+        head = sum(1 for s in samples if s < 5)
+        assert 0.4 < head / len(samples) < 0.6
+
+    def test_deterministic(self) -> None:
+        a = ZipfSampler(50, seed=7).sample_many(100)
+        b = ZipfSampler(50, seed=7).sample_many(100)
+        assert a == b
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, s=-1)
+
+
+class TestQueryLog:
+    def test_shape(self) -> None:
+        log = generate_query_log(500, seed=1)
+        assert len(log) == 500
+        assert all(isinstance(q, str) and q for _, q in log)
+        assert [record_id for record_id, _ in log] == list(range(500))
+
+    def test_deterministic(self) -> None:
+        assert generate_query_log(100, seed=5) == generate_query_log(
+            100, seed=5
+        )
+
+    def test_seed_changes_content(self) -> None:
+        assert generate_query_log(100, seed=1) != generate_query_log(
+            100, seed=2
+        )
+
+    def test_average_length_plausible(self) -> None:
+        """The real QLog averaged 19.07 characters per query."""
+        log = generate_query_log(2000, seed=3)
+        assert 10 < average_query_length(log) < 30
+
+    def test_heavy_tail(self) -> None:
+        log = generate_query_log(2000, seed=4)
+        queries = [q for _, q in log]
+        assert len(set(queries)) < len(queries)
+
+    def test_average_length_empty(self) -> None:
+        assert average_query_length([]) == 0.0
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            generate_query_log(0)
+        with pytest.raises(ValueError):
+            generate_query_log(10, pool_factor=0)
+
+
+class TestWebGraph:
+    def test_shape(self) -> None:
+        graph = generate_web_graph(100, avg_out_degree=5, seed=1)
+        assert len(graph) == 100
+        for node, (rank, neighbors) in graph:
+            assert rank == pytest.approx(1 / 100)
+            assert all(0 <= n < 100 and n != node for n in neighbors)
+            assert neighbors == sorted(set(neighbors))
+
+    def test_average_degree_close_to_target(self) -> None:
+        graph = generate_web_graph(400, avg_out_degree=8, seed=2)
+        average = total_edges(graph) / len(graph)
+        assert 4 < average < 12
+
+    def test_degree_skew(self) -> None:
+        graph = generate_web_graph(400, avg_out_degree=8, seed=3)
+        degrees = sorted(
+            (len(neighbors) for _, (_, neighbors) in graph), reverse=True
+        )
+        assert degrees[0] > 3 * (total_edges(graph) / len(graph))
+
+    def test_deterministic(self) -> None:
+        assert generate_web_graph(50, seed=9) == generate_web_graph(
+            50, seed=9
+        )
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            generate_web_graph(1)
+        with pytest.raises(ValueError):
+            generate_web_graph(10, avg_out_degree=0)
+
+
+class TestCloudReports:
+    def test_shape(self) -> None:
+        records = generate_cloud_reports(200, extra_attributes=10, seed=1)
+        assert len(records) == 200
+        for report_id, value in records:
+            assert len(value) == 13  # date, lon, lat + 10 extras
+            date, lon, lat = value[0], value[1], value[2]
+            assert 0 <= date < 30
+            assert -180 <= lon <= 180
+            assert -90 <= lat <= 90
+
+    def test_stations_repeat(self) -> None:
+        records = generate_cloud_reports(300, num_stations=10, seed=2)
+        coords = {(v[1], v[2]) for _, v in records}
+        assert len(coords) <= 10
+
+    def test_deterministic(self) -> None:
+        assert generate_cloud_reports(50, seed=4) == generate_cloud_reports(
+            50, seed=4
+        )
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            generate_cloud_reports(0)
+        with pytest.raises(ValueError):
+            generate_cloud_reports(10, num_stations=0)
+
+
+class TestRandomText:
+    def test_shape(self) -> None:
+        records = generate_random_text(100, words_per_line=10, seed=1)
+        assert len(records) == 100
+        offsets = [offset for offset, _ in records]
+        assert offsets == sorted(offsets)
+        assert all(line.split() for _, line in records)
+
+    def test_vocabulary_bound(self) -> None:
+        records = generate_random_text(
+            300, vocabulary_size=20, seed=2
+        )
+        words = {w for _, line in records for w in line.split()}
+        assert len(words) <= 20
+
+    def test_deterministic(self) -> None:
+        assert generate_random_text(50, seed=3) == generate_random_text(
+            50, seed=3
+        )
+
+    def test_large_vocabulary(self) -> None:
+        records = generate_random_text(
+            500, words_per_line=20, vocabulary_size=2000, zipf_s=0.2, seed=4
+        )
+        words = {w for _, line in records for w in line.split()}
+        assert len(words) > 500
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            generate_random_text(0)
+        with pytest.raises(ValueError):
+            generate_random_text(10, words_per_line=0)
+        with pytest.raises(ValueError):
+            generate_random_text(10, vocabulary_size=0)

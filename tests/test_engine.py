@@ -1,0 +1,136 @@
+"""Integration tests for the local job runner."""
+
+from __future__ import annotations
+
+from collections import Counter as PyCounter
+
+from repro.mr import counters as C
+from repro.mr.api import Combiner, Mapper, Reducer
+from repro.mr.config import JobConf
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+
+
+class WordMapper(Mapper):
+    def map(self, key, line, context):
+        for word in line.split():
+            context.write(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.write(key, sum(values))
+
+
+class SumCombiner(Combiner):
+    def reduce(self, key, values, context):
+        context.write(key, sum(values))
+
+
+LINES = [
+    "the quick brown fox",
+    "the lazy dog",
+    "the quick dog jumps",
+    "over the lazy fox",
+]
+
+
+def _expected_counts() -> dict[str, int]:
+    counts: PyCounter = PyCounter()
+    for line in LINES:
+        counts.update(line.split())
+    return dict(counts)
+
+
+def _job(**kwargs) -> JobConf:
+    defaults = dict(
+        mapper=WordMapper,
+        reducer=SumReducer,
+        num_reducers=3,
+        cost_meter=FixedCostMeter(),
+        name="wc",
+    )
+    defaults.update(kwargs)
+    return JobConf(**defaults)
+
+
+def _splits():
+    return split_records(list(enumerate(LINES)), num_splits=2)
+
+
+class TestEndToEnd:
+    def test_wordcount_correct(self) -> None:
+        result = LocalJobRunner().run(_job(), _splits())
+        assert dict(result.output) == _expected_counts()
+
+    def test_wordcount_with_combiner(self) -> None:
+        result = LocalJobRunner().run(_job(combiner=SumCombiner), _splits())
+        assert dict(result.output) == _expected_counts()
+
+    def test_single_reducer(self) -> None:
+        result = LocalJobRunner().run(_job(num_reducers=1), _splits())
+        assert dict(result.output) == _expected_counts()
+        # single partition: reduce output in key order
+        assert [k for k, _ in result.output] == sorted(_expected_counts())
+
+    def test_compressed_job(self) -> None:
+        result = LocalJobRunner().run(
+            _job(map_output_codec="gzip"), _splits()
+        )
+        assert dict(result.output) == _expected_counts()
+
+    def test_outputs_by_partition_respects_partitioner(self) -> None:
+        job = _job()
+        result = LocalJobRunner().run(job, _splits())
+        for partition, records in result.outputs_by_partition.items():
+            for key, _ in records:
+                assert job.get_partition(key) == partition
+
+    def test_sorted_output_canonical(self) -> None:
+        a = LocalJobRunner().run(_job(num_reducers=2), _splits())
+        b = LocalJobRunner().run(_job(num_reducers=5), _splits())
+        assert a.sorted_output() == b.sorted_output()
+
+
+class TestAccounting:
+    def test_counter_totals(self) -> None:
+        result = LocalJobRunner().run(_job(), _splits())
+        counters = result.counters
+        total_words = sum(_expected_counts().values())
+        assert counters.get_int(C.MAP_INPUT_RECORDS) == len(LINES)
+        assert counters.get_int(C.MAP_OUTPUT_RECORDS) == total_words
+        assert counters.get_int(C.REDUCE_OUTPUT_RECORDS) == len(
+            _expected_counts()
+        )
+        assert result.map_output_bytes > 0
+        assert result.shuffle_bytes == result.map_output_bytes
+
+    def test_hdfs_vs_local_disk_separation(self) -> None:
+        result = LocalJobRunner().run(_job(), _splits())
+        assert result.hdfs_read_bytes > 0
+        assert result.hdfs_write_bytes > 0
+        # map output materialisation is local disk
+        assert result.disk_write_bytes >= result.map_output_bytes
+
+    def test_task_cost_snapshots(self) -> None:
+        result = LocalJobRunner().run(_job(), _splits())
+        assert len(result.map_task_costs) == 2
+        assert len(result.reduce_task_costs) == 3
+        assert all(t.cpu_seconds >= 0 for t in result.map_task_costs)
+        assert len(result.shuffle_bytes_per_reducer) == 3
+        assert sum(result.shuffle_bytes_per_reducer) == result.shuffle_bytes
+
+    def test_runtime_estimate(self) -> None:
+        result = LocalJobRunner().run(_job(), _splits())
+        estimate = result.runtime()
+        assert estimate.total_seconds > 0
+        assert estimate.total_seconds == (
+            estimate.map_seconds
+            + estimate.shuffle_seconds
+            + estimate.reduce_seconds
+        )
+
+    def test_cpu_seconds_positive(self) -> None:
+        result = LocalJobRunner().run(_job(), _splits())
+        assert result.cpu_seconds > 0

@@ -1,0 +1,33 @@
+"""Every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated() -> None:
+    names = {script.name for script in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[script.stem for script in SCRIPTS]
+)
+def test_example_runs(script: pathlib.Path) -> None:
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"

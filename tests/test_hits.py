@@ -1,0 +1,111 @@
+"""Tests for the HITS workload, validated against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.transform import enable_anti_combining
+from repro.mr.cost import FixedCostMeter
+from repro.workloads.hits import hits_job, run_hits
+
+EDGES = [
+    (0, 1),
+    (0, 2),
+    (1, 2),
+    (2, 3),
+    (3, 0),
+    (4, 2),
+    (4, 1),
+    (5, 2),
+]
+NUM_NODES = 6
+
+
+def _graph_records():
+    adjacency = {node: [] for node in range(NUM_NODES)}
+    for src, dst in EDGES:
+        adjacency[src].append(dst)
+    return [
+        (node, (1.0, 1.0, sorted(neighbors)))
+        for node, neighbors in adjacency.items()
+    ]
+
+
+def _job(**kwargs):
+    defaults = dict(num_reducers=3, cost_meter=FixedCostMeter())
+    defaults.update(kwargs)
+    return hits_job(**defaults)
+
+
+class TestHits:
+    def test_scores_normalised(self) -> None:
+        scores, _ = run_hits(_job(), _graph_records(), iterations=3,
+                             num_splits=2)
+        hub_norm = sum(h * h for h, _ in scores.values())
+        auth_norm = sum(a * a for _, a in scores.values())
+        assert hub_norm == pytest.approx(1.0)
+        assert auth_norm == pytest.approx(1.0)
+
+    def test_matches_networkx(self) -> None:
+        graph = nx.DiGraph(EDGES)
+        hubs, authorities = nx.hits(graph, max_iter=500, tol=1e-12)
+        scores, _ = run_hits(
+            _job(), _graph_records(), iterations=80, num_splits=2
+        )
+        # networkx normalises to sum 1; ours to L2 norm 1 — compare shapes
+        our_hubs = {n: h for n, (h, _) in scores.items()}
+        our_auth = {n: a for n, (_, a) in scores.items()}
+
+        def normalise(vector):
+            total = sum(vector.values())
+            return {k: v / total for k, v in vector.items()}
+
+        our_hubs = normalise(our_hubs)
+        our_auth = normalise(our_auth)
+        for node in range(NUM_NODES):
+            assert our_hubs[node] == pytest.approx(hubs[node], abs=1e-4)
+            assert our_auth[node] == pytest.approx(
+                authorities[node], abs=1e-4
+            )
+
+    def test_best_authority_is_most_linked(self) -> None:
+        scores, _ = run_hits(_job(), _graph_records(), iterations=10,
+                             num_splits=2)
+        best = max(scores, key=lambda node: scores[node][1])
+        assert best == 2  # four in-links, by far the most
+
+    @pytest.mark.parametrize("with_combiner", [True, False])
+    def test_anti_combining_preserves_scores(self, with_combiner) -> None:
+        job = _job(with_combiner=with_combiner)
+        base, _ = run_hits(job, _graph_records(), iterations=5,
+                           num_splits=2)
+        anti = enable_anti_combining(job, use_map_combiner=False)
+        anti_scores, _ = run_hits(anti, _graph_records(), iterations=5,
+                                  num_splits=2)
+        for node, (hub, authority) in base.items():
+            assert anti_scores[node][0] == pytest.approx(hub, abs=1e-9)
+            assert anti_scores[node][1] == pytest.approx(
+                authority, abs=1e-9
+            )
+
+    def test_anti_reduces_transfer(self) -> None:
+        from repro.datagen.webgraph import generate_web_graph
+
+        graph = [
+            (node, (1.0, 1.0, neighbors))
+            for node, (_, neighbors) in generate_web_graph(
+                200, avg_out_degree=12, seed=3
+            )
+        ]
+        job = _job(num_reducers=4)
+        _, base_runs = run_hits(job, graph, iterations=2, num_splits=4)
+        anti = enable_anti_combining(job)
+        _, anti_runs = run_hits(anti, graph, iterations=2, num_splits=4)
+        assert sum(r.map_output_bytes for r in anti_runs) < sum(
+            r.map_output_bytes for r in base_runs
+        )
+
+    def test_iteration_validation(self) -> None:
+        with pytest.raises(ValueError):
+            run_hits(_job(), _graph_records(), iterations=0)

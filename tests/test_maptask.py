@@ -1,0 +1,89 @@
+"""Unit tests for the map task driver."""
+
+from __future__ import annotations
+
+from repro.mr import counters as C
+from repro.mr.api import Mapper, Partitioner, Reducer
+from repro.mr.config import JobConf
+from repro.mr.cost import FixedCostMeter
+from repro.mr.maptask import MapTask
+
+
+class _ModPartitioner(Partitioner):
+    def get_partition(self, key, num_partitions):
+        return key % num_partitions
+
+
+class _FanOutMapper(Mapper):
+    """Emits (key*2 + i, value) for i in 0..1."""
+
+    def map(self, key, value, context):
+        context.write(key * 2, value)
+        context.write(key * 2 + 1, value)
+
+
+class _LifecycleMapper(Mapper):
+    """Exercises setup/cleanup emission (in-mapper combining pattern)."""
+
+    def setup(self, context):
+        self.seen = 0
+
+    def map(self, key, value, context):
+        self.seen += 1
+
+    def cleanup(self, context):
+        context.write(0, self.seen)
+
+
+def _job(**kwargs) -> JobConf:
+    defaults = dict(
+        mapper=_FanOutMapper,
+        reducer=Reducer,
+        partitioner=_ModPartitioner(),
+        num_reducers=2,
+        cost_meter=FixedCostMeter(),
+    )
+    defaults.update(kwargs)
+    return JobConf(**defaults)
+
+
+class TestMapTask:
+    def test_produces_partitioned_segments(self) -> None:
+        result = MapTask(_job(), "map0").run([(0, "a"), (1, "b")])
+        assert set(result.segments) == {0, 1}
+        even = list(result.segments[0].scan())
+        odd = list(result.segments[1].scan())
+        assert even == [(0, "a"), (2, "b")]
+        assert odd == [(1, "a"), (3, "b")]
+
+    def test_counters(self) -> None:
+        result = MapTask(_job(), "map0").run([(0, "a"), (1, "b")])
+        counters = result.counters
+        assert counters.get_int(C.MAP_INPUT_RECORDS) == 2
+        assert counters.get_int(C.MAP_OUTPUT_RECORDS) == 4
+        assert counters.get(C.HDFS_READ_BYTES) > 0
+        assert counters.get(C.CPU_MAP_SECONDS) > 0
+
+    def test_cleanup_emissions_collected(self) -> None:
+        job = _job(mapper=_LifecycleMapper)
+        result = MapTask(job, "map0").run([(i, "x") for i in range(5)])
+        assert list(result.segments[0].scan()) == [(0, 5)]
+
+    def test_empty_split(self) -> None:
+        result = MapTask(_job(), "map0").run([])
+        assert result.segments == {}
+        assert result.counters.get_int(C.MAP_INPUT_RECORDS) == 0
+
+    def test_output_bytes_property(self) -> None:
+        result = MapTask(_job(), "map0").run([(0, "a")])
+        assert result.output_bytes == sum(
+            seg.size_bytes for seg in result.segments.values()
+        )
+
+    def test_setup_map_cleanup_all_metered(self) -> None:
+        meter = FixedCostMeter(cost_per_call=1.0)
+        job = _job(cost_meter=meter)
+        result = MapTask(job, "map0").run([(0, "a")])
+        # setup + 1 map call + cleanup = 3 metered user calls, plus one
+        # metered partition call per emitted record (2) and codec calls.
+        assert result.counters.get(C.CPU_MAP_SECONDS) == 3.0

@@ -1,0 +1,63 @@
+"""Unit tests for k-way merging and key grouping."""
+
+from __future__ import annotations
+
+from repro.mr.comparators import comparator_from_key, default_comparator
+from repro.mr.merge import group_by_key, merge_sorted
+
+
+class TestMergeSorted:
+    def test_merges_in_order(self) -> None:
+        a = iter([("a", 1), ("c", 3)])
+        b = iter([("b", 2), ("d", 4)])
+        merged = list(merge_sorted([a, b], default_comparator))
+        assert merged == [("a", 1), ("b", 2), ("c", 3), ("d", 4)]
+
+    def test_stability_for_equal_keys(self) -> None:
+        a = iter([("k", "first")])
+        b = iter([("k", "second")])
+        merged = list(merge_sorted([a, b], default_comparator))
+        assert merged == [("k", "first"), ("k", "second")]
+
+    def test_empty_streams(self) -> None:
+        assert list(merge_sorted([], default_comparator)) == []
+        assert list(merge_sorted([iter([])], default_comparator)) == []
+
+    def test_single_stream(self) -> None:
+        records = [("a", 1), ("b", 2)]
+        assert list(merge_sorted([iter(records)], default_comparator)) == records
+
+    def test_many_streams(self) -> None:
+        streams = [iter([(i, None), (i + 100, None)]) for i in range(10)]
+        merged = [key for key, _ in merge_sorted(streams, default_comparator)]
+        assert merged == sorted(merged)
+
+
+class TestGroupByKey:
+    def test_basic_grouping(self) -> None:
+        records = iter([("a", 1), ("a", 2), ("b", 3)])
+        groups = list(group_by_key(records, default_comparator))
+        assert groups == [("a", [1, 2]), ("b", [3])]
+
+    def test_empty(self) -> None:
+        assert list(group_by_key(iter([]), default_comparator)) == []
+
+    def test_all_distinct(self) -> None:
+        records = iter([(1, "a"), (2, "b"), (3, "c")])
+        groups = list(group_by_key(records, default_comparator))
+        assert groups == [(1, ["a"]), (2, ["b"]), (3, ["c"])]
+
+    def test_grouping_comparator_secondary_sort(self) -> None:
+        """Composite keys grouped on their first field share one group."""
+        grouping = comparator_from_key(lambda key: key[0])
+        records = iter(
+            [(("a", 1), "x"), (("a", 2), "y"), (("b", 1), "z")]
+        )
+        groups = list(group_by_key(records, grouping))
+        assert groups == [(("a", 1), ["x", "y"]), (("b", 1), ["z"])]
+
+    def test_group_key_is_first_seen(self) -> None:
+        grouping = comparator_from_key(lambda key: key[0])
+        records = iter([(("a", 9), "x"), (("a", 1), "y")])
+        groups = list(group_by_key(records, grouping))
+        assert groups[0][0] == ("a", 9)

@@ -1,0 +1,145 @@
+"""Tests for the multi-query scan-sharing workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Strategy
+from repro.core.transform import enable_anti_combining
+from repro.datagen.randomtext import generate_random_text
+from repro.mr.api import Context, Mapper, Reducer
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+from repro.workloads.multiquery import (
+    Query,
+    shared_scan_job,
+    split_results_by_query,
+)
+from repro.workloads.wordcount import (
+    WordCountMapper,
+    WordCountReducer,
+    wordcount_job,
+)
+
+
+class LineLengthMapper(Mapper):
+    """Second query: histogram of line lengths (in words)."""
+
+    def map(self, key, line: str, context: Context) -> None:
+        context.write(len(line.split()), 1)
+
+
+class FirstWordMapper(Mapper):
+    """Third query: forwards the whole line keyed by its first word."""
+
+    def map(self, key, line: str, context: Context) -> None:
+        words = line.split()
+        if words:
+            context.write(words[0], line)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, context: Context) -> None:
+        context.write(key, sum(values))
+
+
+class CollectSortedReducer(Reducer):
+    def reduce(self, key, values, context: Context) -> None:
+        context.write(key, sorted(values))
+
+
+def _queries() -> list[Query]:
+    return [
+        Query("wordcount", WordCountMapper, WordCountReducer),
+        Query("linelen", LineLengthMapper, CountReducer),
+        Query("firstword", FirstWordMapper, CollectSortedReducer),
+    ]
+
+
+def _records():
+    return generate_random_text(
+        120, words_per_line=8, vocabulary_size=40, seed=21
+    )
+
+
+def _run_shared(job, records):
+    splits = split_records(records, num_splits=3)
+    result = LocalJobRunner().run(job, splits)
+    return split_results_by_query(result.output), result
+
+
+def _run_single(mapper, reducer, records):
+    job = wordcount_job(num_reducers=4).clone(
+        mapper=mapper, reducer=reducer, combiner=None,
+        cost_meter=FixedCostMeter(), name="single",
+    )
+    splits = split_records(records, num_splits=3)
+    return LocalJobRunner().run(job, splits)
+
+
+class TestSharedScan:
+    def test_answers_match_standalone_jobs(self) -> None:
+        records = _records()
+        job = shared_scan_job(
+            _queries(), num_reducers=4, cost_meter=FixedCostMeter()
+        )
+        by_query, _ = _run_shared(job, records)
+        assert set(by_query) == {"wordcount", "linelen", "firstword"}
+
+        wordcount = _run_single(WordCountMapper, WordCountReducer, records)
+        assert dict(by_query["wordcount"]) == dict(wordcount.output)
+
+        linelen = _run_single(LineLengthMapper, CountReducer, records)
+        assert dict(by_query["linelen"]) == dict(linelen.output)
+
+        firstword = _run_single(
+            FirstWordMapper, CollectSortedReducer, records
+        )
+        assert dict(by_query["firstword"]) == dict(firstword.output)
+
+    @pytest.mark.parametrize(
+        "strategy", [Strategy.EAGER, Strategy.LAZY, Strategy.ADAPTIVE]
+    )
+    def test_anti_combining_preserves_all_queries(self, strategy) -> None:
+        records = _records()
+        job = shared_scan_job(
+            _queries(), num_reducers=4, cost_meter=FixedCostMeter()
+        )
+        base, base_result = _run_shared(job, records)
+        anti, anti_result = _run_shared(
+            enable_anti_combining(job, strategy=strategy), records
+        )
+        for name in base:
+            assert sorted(anti[name], key=repr) == sorted(
+                base[name], key=repr
+            ), name
+
+    def test_scan_sharing_is_an_anti_combining_target(self) -> None:
+        """The paper's claim: merged queries amplify the savings."""
+        records = _records()
+        job = shared_scan_job(
+            _queries(), num_reducers=4, cost_meter=FixedCostMeter()
+        )
+        _, base = _run_shared(job, records)
+        _, anti = _run_shared(enable_anti_combining(job), records)
+        assert anti.map_output_bytes < base.map_output_bytes
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError, match="at least one"):
+            shared_scan_job([], cost_meter=FixedCostMeter())
+        duplicated = [
+            Query("q", Mapper, Reducer),
+            Query("q", Mapper, Reducer),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            shared_scan_job(duplicated, cost_meter=FixedCostMeter())
+
+    def test_unknown_query_in_reduce(self) -> None:
+        from repro.mr.counters import Counters
+        from repro.workloads.multiquery import SharedScanReducer
+
+        reducer = SharedScanReducer([Query("known", Mapper, Reducer)])
+        ctx = Context(Counters(), lambda k, v: None)
+        with pytest.raises(KeyError):
+            reducer.reduce(("unknown", 1), iter([1]), ctx)

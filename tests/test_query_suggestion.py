@@ -1,0 +1,152 @@
+"""Unit and integration tests for the Query-Suggestion workload."""
+
+from __future__ import annotations
+
+from collections import Counter as PyCounter
+
+import pytest
+
+from repro.core.transform import enable_anti_combining
+from repro.mr.api import Context, HashPartitioner
+from repro.mr.counters import Counters
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+from repro.workloads.query_suggestion import (
+    PrefixPartitioner,
+    QuerySuggestionCombiner,
+    QuerySuggestionMapper,
+    QuerySuggestionReducer,
+    query_suggestion_job,
+)
+
+
+def _collect(fn, *args):
+    collected = []
+    ctx = Context(Counters(), lambda k, v: collected.append((k, v)))
+    fn(*args, ctx)
+    return collected
+
+
+class TestMapper:
+    def test_emits_every_prefix(self) -> None:
+        records = _collect(QuerySuggestionMapper().map, 0, "abc")
+        assert records == [("a", "abc"), ("ab", "abc"), ("abc", "abc")]
+
+    def test_empty_query(self) -> None:
+        assert _collect(QuerySuggestionMapper().map, 0, "") == []
+
+
+class TestReducer:
+    def test_top_k_by_frequency(self) -> None:
+        reducer = QuerySuggestionReducer(k=2)
+        values = iter(["b", "a", "b", "c", "b", "a"])
+        records = _collect(reducer.reduce, "pre", values)
+        assert records == [("pre", ["b", "a"])]
+
+    def test_ties_broken_lexicographically(self) -> None:
+        reducer = QuerySuggestionReducer(k=3)
+        records = _collect(reducer.reduce, "p", iter(["z", "a", "m"]))
+        assert records == [("p", ["a", "m", "z"])]
+
+    def test_handles_combined_values(self) -> None:
+        reducer = QuerySuggestionReducer(k=2)
+        values = iter([{"a": 5, "b": 1}, "b", {"b": 2}])
+        records = _collect(reducer.reduce, "p", values)
+        assert records == [("p", ["a", "b"])]
+
+
+class TestCombiner:
+    def test_merges_to_frequency_map(self) -> None:
+        records = _collect(
+            QuerySuggestionCombiner().reduce, "p", iter(["a", "b", "a"])
+        )
+        assert records == [("p", {"a": 2, "b": 1})]
+
+    def test_merges_nested_maps(self) -> None:
+        records = _collect(
+            QuerySuggestionCombiner().reduce, "p", iter([{"a": 2}, "a"])
+        )
+        assert records == [("p", {"a": 3})]
+
+
+class TestPrefixPartitioner:
+    def test_same_prefix_same_partition(self) -> None:
+        partitioner = PrefixPartitioner(1)
+        partitions = {
+            partitioner.get_partition(key, 8)
+            for key in ("m", "ma", "mango", "map")
+        }
+        assert len(partitions) == 1
+
+    def test_prefix_5_distinguishes_longer_prefixes(self) -> None:
+        partitioner = PrefixPartitioner(5)
+        assert partitioner.get_partition("abcde-x", 1000) == (
+            partitioner.get_partition("abcde-y", 1000)
+        )
+
+    def test_invalid_length(self) -> None:
+        with pytest.raises(ValueError):
+            PrefixPartitioner(0)
+
+
+def _brute_force_top_k(queries: list[str], k: int) -> dict[str, list[str]]:
+    by_prefix: dict[str, PyCounter] = {}
+    for query in queries:
+        for end in range(1, len(query) + 1):
+            by_prefix.setdefault(query[:end], PyCounter())[query] += 1
+    return {
+        prefix: [
+            q
+            for q, _ in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            )[:k]
+        ]
+        for prefix, counts in by_prefix.items()
+    }
+
+
+QUERIES = [
+    "mango",
+    "manga",
+    "map",
+    "mango",
+    "sigmod",
+    "sigma",
+    "sig",
+    "mango tree",
+    "sigmod 2014",
+]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "partitioner", [HashPartitioner(), PrefixPartitioner(1), PrefixPartitioner(5)]
+    )
+    def test_matches_brute_force(self, partitioner) -> None:
+        job = query_suggestion_job(
+            num_reducers=3,
+            k=2,
+            partitioner=partitioner,
+            cost_meter=FixedCostMeter(),
+        )
+        splits = split_records(list(enumerate(QUERIES)), num_splits=3)
+        result = LocalJobRunner().run(job, splits)
+        assert dict(result.output) == _brute_force_top_k(QUERIES, k=2)
+
+    def test_with_combiner_matches(self) -> None:
+        job = query_suggestion_job(
+            num_reducers=3, k=2, with_combiner=True, cost_meter=FixedCostMeter()
+        )
+        splits = split_records(list(enumerate(QUERIES)), num_splits=3)
+        result = LocalJobRunner().run(job, splits)
+        assert dict(result.output) == _brute_force_top_k(QUERIES, k=2)
+
+    def test_anti_combining_matches(self) -> None:
+        job = query_suggestion_job(
+            num_reducers=3, k=2, cost_meter=FixedCostMeter()
+        )
+        splits = split_records(list(enumerate(QUERIES)), num_splits=3)
+        anti = enable_anti_combining(job)
+        result = LocalJobRunner().run(anti, splits)
+        assert dict(result.output) == _brute_force_top_k(QUERIES, k=2)

@@ -1,0 +1,93 @@
+"""Unit tests for the cluster runtime model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr.runtime_model import (
+    ClusterModel,
+    RuntimeEstimate,
+    TaskCost,
+    schedule_waves,
+)
+
+
+class TestScheduleWaves:
+    def test_single_slot_serialises(self) -> None:
+        assert schedule_waves([1.0, 2.0, 3.0], slots=1) == 6.0
+
+    def test_enough_slots_parallelises(self) -> None:
+        assert schedule_waves([1.0, 2.0, 3.0], slots=3) == 3.0
+
+    def test_fifo_wave_packing(self) -> None:
+        # 2 slots, FIFO: [4] | [1, 3] -> makespan 4
+        assert schedule_waves([4.0, 1.0, 3.0], slots=2) == 4.0
+
+    def test_empty(self) -> None:
+        assert schedule_waves([], slots=4) == 0.0
+
+    def test_invalid_slots(self) -> None:
+        with pytest.raises(ValueError):
+            schedule_waves([1.0], slots=0)
+
+    def test_negative_duration_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            schedule_waves([-1.0], slots=1)
+
+
+class TestTaskCost:
+    def test_duration_combines_cpu_and_disk(self) -> None:
+        task = TaskCost("t", cpu_seconds=2.0, disk_bytes=100)
+        assert task.duration(disk_bandwidth=100) == 3.0
+
+    def test_cpu_scale(self) -> None:
+        task = TaskCost("t", cpu_seconds=2.0, disk_bytes=0)
+        assert task.duration(100, cpu_scale=0.5) == 1.0
+
+
+class TestClusterModel:
+    def test_estimate_composition(self) -> None:
+        model = ClusterModel(
+            map_slots=2,
+            reduce_slots=2,
+            disk_bandwidth=100,
+            nic_bandwidth=100,
+            num_workers=2,
+            cpu_scale=1.0,
+        )
+        maps = [TaskCost("m0", 1.0, 100), TaskCost("m1", 1.0, 100)]
+        reduces = [TaskCost("r0", 0.5, 0)]
+        estimate = model.estimate(maps, reduces, [400])
+        assert estimate.map_seconds == 2.0  # 1s cpu + 1s disk, parallel
+        assert estimate.reduce_seconds == 0.5
+        # shuffle: max(400/200 aggregate, 400/100 per-nic) = 4
+        assert estimate.shuffle_seconds == 4.0
+        assert estimate.total_seconds == 6.5
+
+    def test_shuffle_aggregate_bound(self) -> None:
+        model = ClusterModel(
+            nic_bandwidth=100, num_workers=10, cpu_scale=1.0
+        )
+        estimate = model.estimate([], [], [100] * 10)
+        # balanced: aggregate bound 1000/1000 = 1 > per-nic 100/100 = 1
+        assert estimate.shuffle_seconds == 1.0
+
+    def test_shuffle_skew_bound(self) -> None:
+        model = ClusterModel(nic_bandwidth=100, num_workers=10)
+        balanced = model.estimate([], [], [100] * 10)
+        skewed = model.estimate([], [], [1000])
+        assert skewed.shuffle_seconds > balanced.shuffle_seconds
+
+    def test_empty_job(self) -> None:
+        estimate = ClusterModel().estimate([], [], [])
+        assert estimate.total_seconds == 0.0
+
+    def test_runtime_estimate_total(self) -> None:
+        estimate = RuntimeEstimate(1.0, 2.0, 3.0)
+        assert estimate.total_seconds == 6.0
+
+    def test_default_models_paper_cluster(self) -> None:
+        model = ClusterModel()
+        assert model.map_slots == 44
+        assert model.reduce_slots == 44
+        assert model.num_workers == 11

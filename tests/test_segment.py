@@ -1,0 +1,61 @@
+"""Unit tests for the sorted-segment abstraction."""
+
+from __future__ import annotations
+
+from repro.mr import counters as C
+from repro.mr.compress import get_codec
+from repro.mr.counters import Counters
+from repro.mr.segment import (
+    build_segment_bytes,
+    iter_segment_bytes,
+    write_segment,
+)
+from repro.mr.storage import LocalStore
+
+RECORDS = [("a", 1), ("b", [2, "x"]), ("c", None)]
+
+
+class TestSegmentBytes:
+    def test_roundtrip_identity(self) -> None:
+        data, count, raw = build_segment_bytes(RECORDS, get_codec(None))
+        assert count == 3
+        assert raw == len(data)
+        assert list(iter_segment_bytes(data, get_codec(None))) == RECORDS
+
+    def test_roundtrip_compressed(self) -> None:
+        codec = get_codec("gzip")
+        records = [("key", "payload " * 10)] * 50
+        data, count, raw = build_segment_bytes(records, codec)
+        assert count == 50
+        assert len(data) < raw
+        assert list(iter_segment_bytes(data, codec)) == records
+
+    def test_empty_segment(self) -> None:
+        data, count, raw = build_segment_bytes([], get_codec(None))
+        assert count == 0
+        assert raw == 0
+        assert list(iter_segment_bytes(data, get_codec(None))) == []
+
+
+class TestWriteSegment:
+    def test_persists_and_scans(self) -> None:
+        counters = Counters()
+        store = LocalStore(counters)
+        segment = write_segment(store, "seg0", 3, RECORDS, get_codec(None))
+        assert segment.partition == 3
+        assert segment.record_count == 3
+        assert segment.size_bytes == store.file_size("seg0")
+        assert list(segment.scan()) == RECORDS
+        assert counters.get(C.DISK_READ_BYTES) == segment.size_bytes
+
+    def test_delete(self) -> None:
+        store = LocalStore(Counters())
+        segment = write_segment(store, "seg0", 0, RECORDS, get_codec(None))
+        segment.delete()
+        assert not store.exists("seg0")
+
+    def test_raw_bytes_vs_compressed(self) -> None:
+        store = LocalStore(Counters())
+        records = [("k", "abc " * 20)] * 30
+        segment = write_segment(store, "seg0", 0, records, get_codec("gzip"))
+        assert segment.raw_bytes > segment.size_bytes

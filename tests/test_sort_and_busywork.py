@@ -1,0 +1,100 @@
+"""Tests for the Sort and busy-work workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transform import enable_anti_combining
+from repro.mr import counters as C
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+from repro.workloads.busywork import (
+    BusyWorkMapper,
+    busywork_mapper_factory,
+    fibonacci_busy_work,
+)
+from repro.workloads.sort import SortMapper, sort_job
+
+LINES = ["delta", "alpha", "charlie", "bravo", "echo"]
+
+
+class TestSort:
+    def test_output_sorted_within_partition(self) -> None:
+        job = sort_job(num_reducers=1, cost_meter=FixedCostMeter())
+        splits = split_records(list(enumerate(LINES)), num_splits=2)
+        result = LocalJobRunner().run(job, splits)
+        keys = [key for key, _ in result.output]
+        assert keys == sorted(LINES)
+
+    def test_value_is_original_offset(self) -> None:
+        job = sort_job(num_reducers=1, cost_meter=FixedCostMeter())
+        result = LocalJobRunner().run(job, [[(7, "line")]])
+        assert result.output == [("line", 7)]
+
+    def test_anti_combining_degenerates_to_plain(self) -> None:
+        job = sort_job(num_reducers=2, cost_meter=FixedCostMeter())
+        splits = split_records(list(enumerate(LINES)), num_splits=2)
+        anti = enable_anti_combining(job)
+        result = LocalJobRunner().run(anti, splits)
+        assert result.counters.get_int(C.ANTI_PLAIN_RECORDS) == len(LINES)
+        assert result.counters.get_int(C.ANTI_EAGER_RECORDS) == 0
+        assert result.counters.get_int(C.ANTI_LAZY_RECORDS) == 0
+
+    def test_anti_overhead_is_bounded(self) -> None:
+        job = sort_job(num_reducers=2, cost_meter=FixedCostMeter())
+        splits = split_records(list(enumerate(LINES)), num_splits=2)
+        base = LocalJobRunner().run(job, splits)
+        anti = LocalJobRunner().run(enable_anti_combining(job), splits)
+        # one flag byte per record
+        assert anti.map_output_bytes == base.map_output_bytes + len(LINES)
+
+
+class TestFibonacci:
+    def test_zero_iterations(self) -> None:
+        assert fibonacci_busy_work(0) == 0
+
+    def test_known_values(self) -> None:
+        assert fibonacci_busy_work(1) == 1
+        assert fibonacci_busy_work(10) == 55
+
+    def test_bounded(self) -> None:
+        assert fibonacci_busy_work(10_000) < (1 << 32)
+
+
+class TestBusyWorkMapper:
+    def test_delegates_to_inner(self) -> None:
+        mapper = BusyWorkMapper(SortMapper, units=0)
+        from repro.mr.api import Context
+        from repro.mr.counters import Counters
+
+        collected = []
+        ctx = Context(Counters(), lambda k, v: collected.append((k, v)))
+        mapper.setup(ctx)
+        mapper.map(1, "x", ctx)
+        mapper.cleanup(ctx)
+        assert collected == [("x", 1)]
+
+    def test_negative_units_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            BusyWorkMapper(SortMapper, units=-1)
+
+    def test_factory_produces_fresh_instances(self) -> None:
+        factory = busywork_mapper_factory(SortMapper, units=1)
+        assert factory() is not factory()
+
+    def test_busy_work_visible_to_perf_meter(self) -> None:
+        from repro.mr.cost import PerfCounterMeter
+
+        meter = PerfCounterMeter()
+        _, cheap = meter.measure(fibonacci_busy_work, 10)
+        _, costly = meter.measure(fibonacci_busy_work, 2_000_000)
+        assert costly > cheap
+
+    def test_job_with_busywork_still_correct(self) -> None:
+        job = sort_job(num_reducers=1, cost_meter=FixedCostMeter()).clone(
+            mapper=busywork_mapper_factory(SortMapper, units=1)
+        )
+        splits = split_records(list(enumerate(LINES)), num_splits=2)
+        result = LocalJobRunner().run(job, splits)
+        assert [key for key, _ in result.output] == sorted(LINES)

@@ -1,0 +1,73 @@
+"""Unit tests for input splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr import serde
+from repro.mr.split import enumerate_input, split_records
+
+
+class TestSplitByCount:
+    def test_even_split(self) -> None:
+        records = [(i, i) for i in range(10)]
+        splits = split_records(records, num_splits=5)
+        assert [len(s) for s in splits] == [2, 2, 2, 2, 2]
+        assert [r for s in splits for r in s] == records
+
+    def test_uneven_split(self) -> None:
+        records = [(i, i) for i in range(7)]
+        splits = split_records(records, num_splits=3)
+        assert [len(s) for s in splits] == [3, 2, 2]
+
+    def test_more_splits_than_records(self) -> None:
+        records = [(1, "a"), (2, "b")]
+        splits = split_records(records, num_splits=10)
+        assert len(splits) == 2
+        assert all(splits)
+
+    def test_empty_input(self) -> None:
+        assert split_records([], num_splits=3) == [[]]
+
+    def test_invalid_count(self) -> None:
+        with pytest.raises(ValueError):
+            split_records([(1, 1)], num_splits=0)
+
+
+class TestSplitByBytes:
+    def test_split_bytes(self) -> None:
+        records = [(i, "x" * 10) for i in range(20)]
+        record_bytes = serde.record_size(0, "x" * 10)
+        splits = split_records(records, split_bytes=record_bytes * 4)
+        assert all(len(s) == 4 for s in splits[:-1])
+        assert [r for s in splits for r in s] == records
+
+    def test_single_large_record(self) -> None:
+        records = [(0, "x" * 1000)]
+        splits = split_records(records, split_bytes=10)
+        assert splits == [records]
+
+    def test_invalid_bytes(self) -> None:
+        with pytest.raises(ValueError):
+            split_records([(1, 1)], split_bytes=0)
+
+
+class TestArgumentValidation:
+    def test_both_arguments_rejected(self) -> None:
+        with pytest.raises(ValueError, match="exactly one"):
+            split_records([], num_splits=2, split_bytes=10)
+
+    def test_neither_argument_rejected(self) -> None:
+        with pytest.raises(ValueError, match="exactly one"):
+            split_records([])
+
+
+class TestEnumerateInput:
+    def test_offsets_increase(self) -> None:
+        records = enumerate_input(["hello", "world!!"])
+        assert records[0] == (0, "hello")
+        assert records[1][0] > 0
+        assert records[1][1] == "world!!"
+
+    def test_empty(self) -> None:
+        assert enumerate_input([]) == []

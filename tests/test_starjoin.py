@@ -1,0 +1,125 @@
+"""Tests for the multi-way (Shares) chain join."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import Strategy
+from repro.core.transform import enable_anti_combining
+from repro.mr.api import Context
+from repro.mr.counters import Counters
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+from repro.workloads.starjoin import (
+    StarJoinMapper,
+    brute_force_star_join,
+    star_join_job,
+)
+
+
+def _make_records(seed: int, r: int = 30, s: int = 40, t: int = 30):
+    rng = random.Random(seed)
+    records = []
+    rid = 0
+    for _ in range(r):
+        records.append((rid, ("R", (rng.randrange(20), rng.randrange(8)))))
+        rid += 1
+    for _ in range(s):
+        records.append((rid, ("S", (rng.randrange(8), rng.randrange(8)))))
+        rid += 1
+    for _ in range(t):
+        records.append((rid, ("T", (rng.randrange(8), rng.randrange(20)))))
+        rid += 1
+    return records
+
+
+def _run(job, records, num_splits=4):
+    splits = split_records(records, num_splits=num_splits)
+    result = LocalJobRunner().run(job, splits)
+    return sorted(key for key, _ in result.output), result
+
+
+class TestMapper:
+    def test_replication_shape(self) -> None:
+        mapper = StarJoinMapper(b_shares=3, c_shares=5)
+        for tag, expected_copies in (("R", 5), ("S", 1), ("T", 3)):
+            collected = []
+            ctx = Context(Counters(), lambda k, v: collected.append((k, v)))
+            mapper.map(0, (tag, (1, 2)), ctx)
+            assert len(collected) == expected_copies
+            values = {v for _, v in collected}
+            assert len(values) == 1  # identical value in every copy
+
+    def test_unknown_tag(self) -> None:
+        mapper = StarJoinMapper(2, 2)
+        ctx = Context(Counters(), lambda k, v: None)
+        with pytest.raises(ValueError, match="unknown relation"):
+            mapper.map(0, ("X", (1, 2)), ctx)
+
+    def test_invalid_shares(self) -> None:
+        with pytest.raises(ValueError):
+            StarJoinMapper(0, 2)
+
+
+class TestJoinCorrectness:
+    @pytest.mark.parametrize("shares", [(1, 1), (2, 3), (4, 4)])
+    def test_matches_brute_force(self, shares) -> None:
+        records = _make_records(seed=3)
+        job = star_join_job(
+            b_shares=shares[0],
+            c_shares=shares[1],
+            num_reducers=3,
+            cost_meter=FixedCostMeter(),
+        )
+        joined, _ = _run(job, records)
+        assert joined == brute_force_star_join(records)
+
+    def test_no_duplicates(self) -> None:
+        records = _make_records(seed=4)
+        job = star_join_job(
+            b_shares=3, c_shares=3, num_reducers=4,
+            cost_meter=FixedCostMeter(),
+        )
+        joined, _ = _run(job, records)
+        expected = brute_force_star_join(records)
+        # brute force may contain genuine duplicates (duplicate input
+        # tuples); the job must match exactly, multiset-wise
+        assert joined == expected
+
+    @pytest.mark.parametrize(
+        "strategy", [Strategy.EAGER, Strategy.LAZY, Strategy.ADAPTIVE]
+    )
+    def test_anti_combining_preserves_join(self, strategy) -> None:
+        records = _make_records(seed=5)
+        job = star_join_job(
+            b_shares=4, c_shares=4, num_reducers=4,
+            cost_meter=FixedCostMeter(),
+        )
+        base, base_result = _run(job, records)
+        anti, anti_result = _run(
+            enable_anti_combining(job, strategy=strategy), records
+        )
+        assert anti == base
+        assert anti_result.map_output_bytes < base_result.map_output_bytes
+
+    def test_replication_grows_with_shares(self) -> None:
+        records = _make_records(seed=6)
+        small = star_join_job(b_shares=2, c_shares=2, num_reducers=2,
+                              cost_meter=FixedCostMeter())
+        large = star_join_job(b_shares=5, c_shares=5, num_reducers=2,
+                              cost_meter=FixedCostMeter())
+        _, small_result = _run(small, records)
+        _, large_result = _run(large, records)
+        assert (
+            large_result.map_output_records
+            > small_result.map_output_records
+        )
+
+    def test_empty_relations(self) -> None:
+        records = [(0, ("R", (1, 2)))]  # S and T empty -> no results
+        job = star_join_job(num_reducers=2, cost_meter=FixedCostMeter())
+        joined, _ = _run(job, records, num_splits=1)
+        assert joined == []

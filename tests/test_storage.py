@@ -1,0 +1,102 @@
+"""Unit tests for the virtual local disks and spill files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr import counters as C
+from repro.mr.counters import Counters
+from repro.mr.storage import LocalStore, SpillWriter, StorageError
+
+
+class TestLocalStore:
+    def test_write_read_roundtrip(self, store: LocalStore) -> None:
+        store.write_file("a", b"hello")
+        assert store.read_file("a") == b"hello"
+
+    def test_byte_accounting(self) -> None:
+        counters = Counters()
+        store = LocalStore(counters)
+        store.write_file("a", b"12345")
+        assert counters.get(C.DISK_WRITE_BYTES) == 5
+        store.read_file("a")
+        store.read_file("a")
+        assert counters.get(C.DISK_READ_BYTES) == 10
+
+    def test_double_create_rejected(self, store: LocalStore) -> None:
+        store.write_file("a", b"x")
+        with pytest.raises(StorageError, match="already exists"):
+            store.write_file("a", b"y")
+
+    def test_missing_file(self, store: LocalStore) -> None:
+        with pytest.raises(StorageError, match="no such file"):
+            store.read_file("missing")
+        with pytest.raises(StorageError):
+            store.file_size("missing")
+
+    def test_delete_is_idempotent(self, store: LocalStore) -> None:
+        store.write_file("a", b"x")
+        store.delete_file("a")
+        store.delete_file("a")
+        assert not store.exists("a")
+
+    def test_file_size_free_of_charge(self) -> None:
+        counters = Counters()
+        store = LocalStore(counters)
+        store.write_file("a", b"12345")
+        before = counters.get(C.DISK_READ_BYTES)
+        assert store.file_size("a") == 5
+        assert counters.get(C.DISK_READ_BYTES) == before
+
+    def test_list_and_total(self, store: LocalStore) -> None:
+        store.write_file("b", b"22")
+        store.write_file("a", b"1")
+        assert store.list_files() == ["a", "b"]
+        assert store.total_stored_bytes() == 3
+
+
+class TestSpillFiles:
+    def test_roundtrip_preserves_order(self, store: LocalStore) -> None:
+        writer = SpillWriter(store, "run0")
+        records = [("a", 1), ("b", [2, 3]), ("c", None)]
+        for key, value in records:
+            writer.append(key, value)
+        spill = writer.close()
+        assert spill.record_count == 3
+        assert list(spill.scan()) == records
+
+    def test_append_returns_size(self, store: LocalStore) -> None:
+        writer = SpillWriter(store, "run0")
+        size = writer.append("key", "value")
+        assert size > 0
+
+    def test_closed_writer_rejects_appends(self, store: LocalStore) -> None:
+        writer = SpillWriter(store, "run0")
+        writer.append("a", 1)
+        writer.close()
+        with pytest.raises(StorageError, match="closed"):
+            writer.append("b", 2)
+        with pytest.raises(StorageError, match="closed"):
+            writer.close()
+
+    def test_scan_charges_read(self) -> None:
+        counters = Counters()
+        store = LocalStore(counters)
+        writer = SpillWriter(store, "run0")
+        writer.append("a", 1)
+        spill = writer.close()
+        written = counters.get(C.DISK_WRITE_BYTES)
+        list(spill.scan())
+        assert counters.get(C.DISK_READ_BYTES) == written
+
+    def test_empty_spill(self, store: LocalStore) -> None:
+        spill = SpillWriter(store, "run0").close()
+        assert spill.record_count == 0
+        assert list(spill.scan()) == []
+
+    def test_delete(self, store: LocalStore) -> None:
+        writer = SpillWriter(store, "run0")
+        writer.append("a", 1)
+        spill = writer.close()
+        spill.delete()
+        assert not store.exists("run0")

@@ -1,0 +1,61 @@
+"""Tests for the benchmark-report summary aggregator."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.summary import (
+    collect_reports,
+    render_summary,
+    write_summary,
+)
+from repro.cli import main
+
+
+class TestCollect:
+    def test_missing_directory(self, tmp_path: pathlib.Path) -> None:
+        assert collect_reports(tmp_path / "nope") == {}
+
+    def test_reads_reports(self, tmp_path: pathlib.Path) -> None:
+        (tmp_path / "run_fig9.txt").write_text("fig9 report\n")
+        (tmp_path / "run_fig10.txt").write_text("fig10 report\n")
+        reports = collect_reports(tmp_path)
+        assert reports == {
+            "run_fig9": "fig9 report",
+            "run_fig10": "fig10 report",
+        }
+
+
+class TestRender:
+    def test_empty(self) -> None:
+        assert "No benchmark results" in render_summary({})
+
+    def test_order_follows_evaluation_section(self) -> None:
+        reports = {
+            "run_fig12": "== twelve ==",
+            "run_fig9": "== nine ==",
+            "run_unknown_extra": "== extra ==",
+        }
+        text = render_summary(reports)
+        assert text.index("nine") < text.index("twelve")
+        assert text.index("twelve") < text.index("extra")
+
+    def test_write_summary(self, tmp_path: pathlib.Path) -> None:
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "run_fig9.txt").write_text("body\n")
+        out = tmp_path / "summary.md"
+        text = write_summary(results, out)
+        assert out.read_text() == text
+        assert "body" in text
+
+
+class TestCliSummary:
+    def test_summary_command(self, tmp_path, capsys) -> None:
+        (tmp_path / "run_fig9.txt").write_text("the fig9 table\n")
+        assert main(["summary", "--results-dir", str(tmp_path)]) == 0
+        assert "the fig9 table" in capsys.readouterr().out
+
+    def test_summary_command_empty(self, tmp_path, capsys) -> None:
+        assert main(["summary", "--results-dir", str(tmp_path)]) == 0
+        assert "No benchmark results" in capsys.readouterr().out

@@ -1,0 +1,144 @@
+"""Tests for the 1-Bucket-Theta band join, validated by brute force."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Strategy
+from repro.core.transform import enable_anti_combining
+from repro.datagen.cloud import generate_cloud_reports
+from repro.mr.api import Context
+from repro.mr.counters import Counters
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+from repro.workloads.thetajoin import (
+    OneBucketThetaMapper,
+    RegionPartitioner,
+    band_join_job,
+    band_join_predicate,
+)
+
+
+def _brute_force(records) -> list[tuple]:
+    """All (s, t) projections satisfying the band predicate."""
+    tuples = [tuple(value) for _, value in records]
+    return sorted(
+        (s[0], s[1], s[2], t[2])
+        for s in tuples
+        for t in tuples
+        if band_join_predicate(s, t)
+    )
+
+
+def _run(job, records, num_splits=3):
+    splits = split_records(records, num_splits=num_splits)
+    result = LocalJobRunner().run(job, splits)
+    return sorted(value for _, value in result.output), result
+
+
+class TestMapper:
+    def test_covers_row_and_column(self) -> None:
+        mapper = OneBucketThetaMapper(grid_rows=3, grid_cols=4)
+        collected = []
+        ctx = Context(Counters(), lambda k, v: collected.append((k, v)))
+        mapper.map(7, ("rec",), ctx)
+        s_regions = {k for k, (tag, _) in collected if tag == "S"}
+        t_regions = {k for k, (tag, _) in collected if tag == "T"}
+        assert len(s_regions) == 4  # one full row
+        assert len(t_regions) == 3  # one full column
+        assert len(s_regions & t_regions) == 1  # the (row, col) cell
+
+    def test_deterministic_assignment(self) -> None:
+        mapper = OneBucketThetaMapper(2, 2)
+        runs = []
+        for _ in range(2):
+            collected = []
+            ctx = Context(Counters(), lambda k, v: collected.append((k, v)))
+            mapper.map(42, ("rec",), ctx)
+            runs.append(collected)
+        assert runs[0] == runs[1]
+
+    def test_invalid_grid(self) -> None:
+        with pytest.raises(ValueError):
+            OneBucketThetaMapper(0, 2)
+
+
+class TestRegionPartitioner:
+    def test_round_robin(self) -> None:
+        partitioner = RegionPartitioner()
+        assert partitioner.get_partition(0, 4) == 0
+        assert partitioner.get_partition(5, 4) == 1
+
+
+class TestJoinCorrectness:
+    def test_matches_brute_force(self) -> None:
+        records = generate_cloud_reports(80, num_stations=10, seed=9)
+        job = band_join_job(
+            grid_rows=3, grid_cols=3, num_reducers=3,
+            cost_meter=FixedCostMeter(),
+        )
+        joined, _ = _run(job, records)
+        assert joined == _brute_force(records)
+
+    def test_every_pair_joined_exactly_once(self) -> None:
+        # identical coordinates: every pair matches; |result| must be n^2
+        records = [(i, (1, 10, 50, i)) for i in range(12)]
+        job = band_join_job(
+            grid_rows=4, grid_cols=4, num_reducers=4,
+            cost_meter=FixedCostMeter(),
+        )
+        joined, _ = _run(job, records)
+        assert len(joined) == 144
+
+    def test_no_matches(self) -> None:
+        records = [(0, (1, 10, 0)), (1, (2, 20, 50))]
+        job = band_join_job(
+            grid_rows=2, grid_cols=2, num_reducers=2,
+            cost_meter=FixedCostMeter(),
+        )
+        joined, _ = _run(job, records, num_splits=1)
+        # only the trivial self-matches (each record joins itself)
+        assert joined == sorted(
+            [(1, 10, 0, 0), (2, 20, 50, 50)]
+        )
+
+    def test_grid_shape_does_not_change_result(self) -> None:
+        records = generate_cloud_reports(50, num_stations=8, seed=11)
+        results = []
+        for rows, cols in [(1, 1), (2, 3), (5, 5)]:
+            job = band_join_job(
+                grid_rows=rows, grid_cols=cols, num_reducers=3,
+                cost_meter=FixedCostMeter(),
+            )
+            joined, _ = _run(job, records)
+            results.append(joined)
+        assert results[0] == results[1] == results[2]
+
+    @pytest.mark.parametrize(
+        "strategy", [Strategy.EAGER, Strategy.LAZY, Strategy.ADAPTIVE]
+    )
+    def test_anti_combining_preserves_join(self, strategy) -> None:
+        records = generate_cloud_reports(60, num_stations=8, seed=13)
+        job = band_join_job(
+            grid_rows=4, grid_cols=4, num_reducers=4,
+            cost_meter=FixedCostMeter(),
+        )
+        base, _ = _run(job, records)
+        anti_joined, _ = _run(
+            enable_anti_combining(job, strategy=strategy), records
+        )
+        assert anti_joined == base
+
+    def test_replication_factor_grows_with_grid(self) -> None:
+        records = generate_cloud_reports(40, num_stations=8, seed=17)
+        small = band_join_job(grid_rows=2, grid_cols=2, num_reducers=2,
+                              cost_meter=FixedCostMeter())
+        large = band_join_job(grid_rows=6, grid_cols=6, num_reducers=2,
+                              cost_meter=FixedCostMeter())
+        _, small_result = _run(small, records)
+        _, large_result = _run(large, records)
+        assert (
+            large_result.map_output_records
+            > small_result.map_output_records
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for the syntactic transformation and its configuration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.anti_combiner import AntiCombiner
+from repro.core.anti_mapper import AntiMapper
+from repro.core.anti_reducer import AntiReducer
+from repro.core.config import AntiCombiningConfig, Strategy
+from repro.core.transform import enable_anti_combining
+from repro.mr.api import Combiner, Mapper, Reducer
+from repro.mr.config import JobConf
+from repro.mr.cost import FixedCostMeter
+
+
+def _job(**kwargs) -> JobConf:
+    defaults = dict(
+        mapper=Mapper,
+        reducer=Reducer,
+        num_reducers=3,
+        cost_meter=FixedCostMeter(),
+        name="base",
+    )
+    defaults.update(kwargs)
+    return JobConf(**defaults)
+
+
+class TestTransform:
+    def test_wraps_mapper_and_reducer(self) -> None:
+        anti = enable_anti_combining(_job())
+        assert isinstance(anti.make_mapper(), AntiMapper)
+        assert isinstance(anti.make_reducer(), AntiReducer)
+
+    def test_original_job_untouched(self) -> None:
+        job = _job()
+        enable_anti_combining(job)
+        assert job.anti is None
+        assert not isinstance(job.make_mapper(), AntiMapper)
+
+    def test_name_records_strategy(self) -> None:
+        anti = enable_anti_combining(_job(), strategy=Strategy.LAZY)
+        assert "lazy" in anti.name
+
+    def test_double_transform_rejected(self) -> None:
+        anti = enable_anti_combining(_job())
+        with pytest.raises(ValueError, match="already"):
+            enable_anti_combining(anti)
+
+    def test_config_installed(self) -> None:
+        anti = enable_anti_combining(_job(), threshold_t=0.5)
+        assert isinstance(anti.anti, AntiCombiningConfig)
+        assert anti.anti.threshold_t == 0.5
+
+    def test_framework_knobs_preserved(self) -> None:
+        job = _job(num_reducers=7, map_output_codec="gzip")
+        anti = enable_anti_combining(job)
+        assert anti.num_reducers == 7
+        assert anti.map_output_codec == "gzip"
+        assert anti.partitioner is job.partitioner
+
+
+class TestCombinerHandling:
+    def test_no_combiner_stays_none(self) -> None:
+        anti = enable_anti_combining(_job(), use_map_combiner=True)
+        assert anti.combiner is None
+
+    def test_c0_removes_map_combiner(self) -> None:
+        anti = enable_anti_combining(
+            _job(combiner=Combiner), use_map_combiner=False
+        )
+        assert anti.combiner is None
+
+    def test_c1_wraps_combiner(self) -> None:
+        anti = enable_anti_combining(
+            _job(combiner=Combiner), use_map_combiner=True
+        )
+        assert anti.combiner is not None
+        assert isinstance(anti.make_combiner(), AntiCombiner)
+
+
+class TestConfigValidation:
+    def test_defaults(self) -> None:
+        config = AntiCombiningConfig()
+        assert config.threshold_t == math.inf
+        assert config.strategy is Strategy.ADAPTIVE
+        assert config.lazy_allowed
+
+    def test_negative_threshold_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            AntiCombiningConfig(threshold_t=-1)
+
+    def test_tiny_shared_memory_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            AntiCombiningConfig(shared_memory_bytes=100)
+
+    def test_merge_threshold_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            AntiCombiningConfig(shared_merge_threshold=1)
+
+    @pytest.mark.parametrize(
+        ("strategy", "threshold", "expected"),
+        [
+            (Strategy.EAGER, math.inf, False),
+            (Strategy.LAZY, 0.0, True),
+            (Strategy.ADAPTIVE, 0.0, False),
+            (Strategy.ADAPTIVE, 1.0, True),
+        ],
+    )
+    def test_lazy_allowed(self, strategy, threshold, expected) -> None:
+        config = AntiCombiningConfig(
+            strategy=strategy, threshold_t=threshold
+        )
+        assert config.lazy_allowed is expected

@@ -1,0 +1,62 @@
+"""Tests for the WordCount workload."""
+
+from __future__ import annotations
+
+from collections import Counter as PyCounter
+
+import pytest
+
+from repro.core.transform import enable_anti_combining
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+from repro.workloads.wordcount import wordcount_job
+
+LINES = [
+    "the cat sat on the mat",
+    "the dog sat on the log",
+    "cats and dogs",
+]
+
+
+def _expected() -> dict[str, int]:
+    counts: PyCounter = PyCounter()
+    for line in LINES:
+        counts.update(line.split())
+    return dict(counts)
+
+
+def _splits():
+    return split_records(list(enumerate(LINES)), num_splits=2)
+
+
+class TestWordCount:
+    @pytest.mark.parametrize("with_combiner", [True, False])
+    def test_counts_correct(self, with_combiner: bool) -> None:
+        job = wordcount_job(
+            num_reducers=3,
+            with_combiner=with_combiner,
+            cost_meter=FixedCostMeter(),
+        )
+        result = LocalJobRunner().run(job, _splits())
+        assert dict(result.output) == _expected()
+
+    @pytest.mark.parametrize("use_map_combiner", [True, False])
+    def test_anti_combining_correct(self, use_map_combiner: bool) -> None:
+        job = wordcount_job(num_reducers=3, cost_meter=FixedCostMeter())
+        anti = enable_anti_combining(job, use_map_combiner=use_map_combiner)
+        result = LocalJobRunner().run(anti, _splits())
+        assert dict(result.output) == _expected()
+
+    def test_anti_reduces_map_records(self) -> None:
+        job = wordcount_job(num_reducers=3, cost_meter=FixedCostMeter())
+        base = LocalJobRunner().run(job, _splits())
+        anti = LocalJobRunner().run(
+            enable_anti_combining(job, use_map_combiner=True), _splits()
+        )
+        assert anti.map_output_records < base.map_output_records
+
+    def test_empty_lines(self) -> None:
+        job = wordcount_job(num_reducers=2, cost_meter=FixedCostMeter())
+        result = LocalJobRunner().run(job, [[(0, ""), (1, "  ")]])
+        assert result.output == []
