@@ -16,6 +16,21 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def executor_from_env():
+    """Honour ``REPRO_JOBS=N`` for the whole benchmark session.
+
+    ``REPRO_JOBS=4 pytest benchmarks/`` runs every experiment's map and
+    reduce tasks on four worker processes; counters (and therefore the
+    persisted reports) are byte-identical to a serial run.
+    """
+    from repro.mr.executor import clear_default_executor, configure_from_env
+
+    configure_from_env()
+    yield
+    clear_default_executor()
+
+
 @pytest.fixture
 def report_runner(benchmark, capfd):
     """Run an experiment under pytest-benchmark and report its table."""

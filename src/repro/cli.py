@@ -9,6 +9,10 @@ Commands:
   keyword arguments (``--num-queries 2000``, ``--num-reducers 4``, ...)
   and are converted to the type of the parameter's default.
 * ``python -m repro run all`` — run everything at default scale.
+* ``--jobs/-j N`` (anywhere on the ``run`` line) executes every job's
+  map/reduce tasks on a pool of ``N`` worker processes instead of
+  serially; ``REPRO_JOBS=N`` in the environment is the fallback.
+  Counters are byte-identical either way.
 * ``python -m repro summary`` — aggregate the benchmark reports under
   ``benchmarks/results/`` into one document.
 """
@@ -115,6 +119,29 @@ def _convert(raw: str, default: Any) -> Any:
     return raw
 
 
+def _extract_jobs_flag(pairs: list[str]) -> tuple[int | None, list[str]]:
+    """Split a trailing ``--jobs/-j N`` out of the override pairs.
+
+    The ``run`` sub-parser collects everything after the experiment
+    name into ``overrides`` (argparse.REMAINDER), so a ``-j`` given
+    *after* the experiment lands there instead of on the parser.
+    """
+    jobs: int | None = None
+    rest: list[str] = []
+    index = 0
+    while index < len(pairs):
+        flag = pairs[index]
+        if flag in ("-j", "--jobs"):
+            if index + 1 >= len(pairs):
+                raise ValueError(f"missing value for {flag!r}")
+            jobs = int(pairs[index + 1])
+            index += 2
+            continue
+        rest.append(flag)
+        index += 1
+    return jobs, rest
+
+
 def _parse_overrides(
     pairs: list[str], fn: Callable[..., Any]
 ) -> dict[str, Any]:
@@ -165,6 +192,11 @@ def _cmd_run(name: str, overrides: list[str]) -> int:
         return 2
     fn, _ = EXPERIMENTS[name]
     try:
+        jobs, overrides = _extract_jobs_flag(overrides)
+        if jobs is not None:
+            from repro.mr.executor import set_default_jobs
+
+            set_default_jobs(jobs)
         kwargs = _parse_overrides(overrides, fn)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -193,6 +225,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     run_parser.add_argument("experiment", help="experiment name or 'all'")
     run_parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run map/reduce tasks on N worker processes "
+        "(default: serial; REPRO_JOBS env is the fallback)",
+    )
+    run_parser.add_argument(
         "overrides",
         nargs=argparse.REMAINDER,
         help="parameter overrides as --param value pairs",
@@ -211,6 +252,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "summary":
             return _cmd_summary(args.results_dir)
+        if args.jobs is not None:
+            from repro.mr.executor import set_default_jobs
+
+            set_default_jobs(args.jobs)
         return _cmd_run(args.experiment, args.overrides)
     except BrokenPipeError:
         # stdout went away (e.g. piped into `head`); exit quietly

@@ -24,6 +24,7 @@ is decoded into ``Shared`` before its Reduce call runs.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any
 
 from repro.core import encoding
@@ -156,8 +157,8 @@ def enable_cross_call_anti_combining(
         config=config,
     )
     return job.clone(
-        mapper=lambda: CrossCallAntiMapper(runtime, window_bytes),
-        reducer=lambda: AntiReducer(runtime),
+        mapper=partial(CrossCallAntiMapper, runtime, window_bytes),
+        reducer=partial(AntiReducer, runtime),
         combiner=None,
         anti=config,
         name=f"{job.name}+anti[cross-call]",

@@ -13,6 +13,7 @@ MapReduce environment itself").
 from __future__ import annotations
 
 import math
+from functools import partial
 
 from repro.core.anti_combiner import AntiCombiner
 from repro.core.anti_mapper import AntiMapper
@@ -66,13 +67,15 @@ def enable_anti_combining(
         config=config,
     )
 
+    # partial (not lambda): the factories must pickle so transformed
+    # jobs can run on the process executor.
     combiner = None
     if job.combiner is not None and use_map_combiner:
-        combiner = lambda: AntiCombiner(runtime)  # noqa: E731
+        combiner = partial(AntiCombiner, runtime)
 
     return job.clone(
-        mapper=lambda: AntiMapper(runtime),
-        reducer=lambda: AntiReducer(runtime),
+        mapper=partial(AntiMapper, runtime),
+        reducer=partial(AntiReducer, runtime),
         combiner=combiner,
         anti=config,
         name=f"{job.name}+anti[{strategy.value}]",

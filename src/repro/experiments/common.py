@@ -11,6 +11,7 @@ from repro.core.transform import enable_anti_combining
 from repro.mr import counters as C
 from repro.mr.config import JobConf
 from repro.mr.engine import JobResult, LocalJobRunner
+from repro.mr.executor import Executor
 from repro.mr.runtime_model import ClusterModel
 
 
@@ -56,9 +57,19 @@ def measure_job(
     splits: Sequence[Iterable[tuple[Any, Any]]],
     cluster: ClusterModel | None = None,
     runner: LocalJobRunner | None = None,
+    executor: Executor | str | None = None,
 ) -> MeasuredRun:
-    """Run one job and capture the quantities the paper reports."""
-    runner = runner if runner is not None else LocalJobRunner()
+    """Run one job and capture the quantities the paper reports.
+
+    ``executor`` selects an execution backend for this measurement (an
+    :class:`~repro.mr.executor.Executor` instance or a name); when
+    omitted, the default :class:`LocalJobRunner` resolution applies —
+    i.e. the CLI's ``--jobs``/``REPRO_JOBS`` override, then the job's
+    own knobs.  The measured byte/record quantities are identical
+    across backends; only wall-clock concurrency differs.
+    """
+    if runner is None:
+        runner = LocalJobRunner(executor=executor)
     result = runner.run(job, splits)
     return MeasuredRun.from_result(name, result, cluster)
 

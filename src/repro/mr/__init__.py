@@ -25,7 +25,21 @@ from repro.mr.compress import available_codecs, get_codec
 from repro.mr.config import JobConf
 from repro.mr.counters import Counters
 from repro.mr.engine import JobResult, LocalJobRunner
+from repro.mr.events import EventLog, TaskEvent
+from repro.mr.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    create_executor,
+)
 from repro.mr.runtime_model import ClusterModel
+from repro.mr.scheduler import (
+    FaultPolicy,
+    JobScheduler,
+    NoFaults,
+    ScriptedFaults,
+    TaskFailedError,
+)
 from repro.mr.split import split_records
 
 __all__ = [
@@ -34,14 +48,25 @@ __all__ = [
     "Comparator",
     "Context",
     "Counters",
+    "EventLog",
+    "Executor",
+    "FaultPolicy",
     "HashPartitioner",
     "JobConf",
     "JobResult",
+    "JobScheduler",
     "LocalJobRunner",
     "Mapper",
+    "NoFaults",
+    "ParallelExecutor",
     "Partitioner",
     "Reducer",
+    "ScriptedFaults",
+    "SerialExecutor",
+    "TaskEvent",
+    "TaskFailedError",
     "available_codecs",
+    "create_executor",
     "default_comparator",
     "get_codec",
     "split_records",

@@ -1,9 +1,13 @@
-"""The local job runner: the simulator's JobTracker.
+"""The local job runner: the simulator's JobTracker facade.
 
-Runs every map task, shuffles, runs every reduce task, and folds all
-task counters into job-level totals.  Per-task cost snapshots are kept
-so the :class:`~repro.mr.runtime_model.ClusterModel` can turn them into
-a simulated wall-clock runtime.
+``LocalJobRunner`` resolves an execution backend (serial by default, a
+process pool when requested via ``JobConf.executor``, an explicit
+executor argument, or the ``--jobs``/``REPRO_JOBS`` override) and
+hands the job to the :class:`~repro.mr.scheduler.JobScheduler`, which
+runs the map wave, the shuffle, and the reduce wave with per-task
+retries.  Per-task cost snapshots and the per-attempt event log are
+kept so the :class:`~repro.mr.runtime_model.ClusterModel` can turn
+them into a simulated wall-clock runtime.
 """
 
 from __future__ import annotations
@@ -14,9 +18,14 @@ from typing import Any, Iterable, Sequence
 from repro.mr import counters as C
 from repro.mr.config import JobConf
 from repro.mr.counters import Counters
-from repro.mr.maptask import MapTask, MapTaskResult
-from repro.mr.reducetask import ReduceTask, ReduceTaskResult
+from repro.mr.events import EventLog
+from repro.mr.executor import (
+    Executor,
+    create_executor,
+    default_executor_spec,
+)
 from repro.mr.runtime_model import ClusterModel, RuntimeEstimate, TaskCost
+from repro.mr.scheduler import FaultPolicy, JobScheduler
 
 Record = tuple[Any, Any]
 
@@ -31,6 +40,9 @@ class JobResult:
     map_task_costs: list[TaskCost] = field(default_factory=list)
     reduce_task_costs: list[TaskCost] = field(default_factory=list)
     shuffle_bytes_per_reducer: list[int] = field(default_factory=list)
+    #: Structured per-attempt scheduling events (starts, finishes,
+    #: failures) with measured wall-clock offsets.
+    events: EventLog = field(default_factory=EventLog)
 
     @property
     def output(self) -> list[Record]:
@@ -95,9 +107,54 @@ class JobResult:
             self.shuffle_bytes_per_reducer,
         )
 
+    def measured_runtime(
+        self, cluster: ClusterModel | None = None
+    ) -> RuntimeEstimate:
+        """Simulated runtime from *measured* per-attempt wall times.
+
+        Uses the event log's real task durations (instead of the
+        analytic per-task cost model) scheduled over the cluster's
+        slots; see :meth:`ClusterModel.estimate_from_events`.
+        """
+        model = cluster if cluster is not None else ClusterModel()
+        return model.estimate_from_events(self.events)
+
 
 class LocalJobRunner:
-    """Executes a job on in-memory splits, sequentially but faithfully."""
+    """Executes a job on in-memory splits, faithfully accounted.
+
+    The runner is a thin facade: executor resolution here, task-graph
+    execution in the :class:`~repro.mr.scheduler.JobScheduler`.
+
+    ``executor`` may be an :class:`~repro.mr.executor.Executor`
+    instance (caller owns its lifetime) or an executor name
+    (``"serial"`` / ``"process"``, created and closed per run).  When
+    omitted, the process-wide ``--jobs``/``REPRO_JOBS`` override is
+    consulted first, then the job's own ``executor``/``max_workers``
+    knobs.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | str | None = None,
+        fault_policy: FaultPolicy | None = None,
+        max_attempts: int | None = None,
+    ):
+        self._executor = executor
+        self._fault_policy = fault_policy
+        self._max_attempts = max_attempts
+
+    def _resolve_executor(self, job: JobConf) -> tuple[Executor, bool]:
+        """The executor for ``job`` and whether this run owns it."""
+        if isinstance(self._executor, Executor):
+            return self._executor, False
+        if isinstance(self._executor, str):
+            return create_executor(self._executor, job.max_workers), True
+        override = default_executor_spec()
+        if override is not None:
+            name, max_workers = override
+            return create_executor(name, max_workers), True
+        return create_executor(job.executor, job.max_workers), True
 
     def run(
         self,
@@ -105,65 +162,14 @@ class LocalJobRunner:
         splits: Sequence[Iterable[Record]],
     ) -> JobResult:
         """Run ``job`` over ``splits`` (one map task per split)."""
-        map_results: list[MapTaskResult] = []
-        map_costs: list[TaskCost] = []
-        for index, split in enumerate(splits):
-            result = MapTask(job, f"map{index}").run(split)
-            map_results.append(result)
-            # Snapshot now: later shuffle serve-reads charge this task's
-            # counters but belong to the shuffle phase, not the map wave.
-            map_costs.append(
-                TaskCost(
-                    task_id=result.task_id,
-                    cpu_seconds=result.cpu_seconds,
-                    disk_bytes=result.disk_read_bytes
-                    + result.disk_write_bytes
-                    + result.counters.get_int(C.HDFS_READ_BYTES)
-                    + result.counters.get_int(C.HDFS_WRITE_BYTES),
-                )
-            )
-
-        reduce_results: list[ReduceTaskResult] = []
-        reduce_costs: list[TaskCost] = []
-        shuffle_per_reducer: list[int] = []
-        for partition in range(job.num_reducers):
-            segments = [
-                result.segments[partition]
-                for result in map_results
-                if partition in result.segments
-            ]
-            reduce_result = ReduceTask(job, partition).run(segments)
-            reduce_results.append(reduce_result)
-            reduce_costs.append(
-                TaskCost(
-                    task_id=reduce_result.task_id,
-                    cpu_seconds=reduce_result.cpu_seconds,
-                    disk_bytes=reduce_result.counters.get_int(
-                        C.DISK_READ_BYTES
-                    )
-                    + reduce_result.counters.get_int(C.DISK_WRITE_BYTES)
-                    + reduce_result.counters.get_int(C.HDFS_READ_BYTES)
-                    + reduce_result.counters.get_int(C.HDFS_WRITE_BYTES),
-                    reexecutions=reduce_result.counters.get_int(
-                        C.ANTI_REDUCE_MAP_REEXECUTIONS
-                    ),
-                )
-            )
-            shuffle_per_reducer.append(reduce_result.shuffle_bytes)
-
-        totals = Counters()
-        for result in map_results:
-            totals.merge(result.counters)
-        for reduce_result in reduce_results:
-            totals.merge(reduce_result.counters)
-
-        return JobResult(
-            job_name=job.name,
-            outputs_by_partition={
-                r.partition: r.output for r in reduce_results
-            },
-            counters=totals,
-            map_task_costs=map_costs,
-            reduce_task_costs=reduce_costs,
-            shuffle_bytes_per_reducer=shuffle_per_reducer,
+        executor, owned = self._resolve_executor(job)
+        scheduler = JobScheduler(
+            executor,
+            fault_policy=self._fault_policy,
+            max_attempts=self._max_attempts,
         )
+        try:
+            return scheduler.execute(job, splits)
+        finally:
+            if owned:
+                executor.close()

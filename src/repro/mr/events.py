@@ -1,0 +1,116 @@
+"""Structured per-task event log of one job execution.
+
+The scheduler emits one ``start`` event per task attempt when it is
+submitted to the executor and one ``finish`` (or ``fail``) event when
+the attempt's result is collected.  Events carry the attempt number,
+wall-clock offsets relative to job start, and — on success — the
+attempt's measured CPU seconds and output/shuffle bytes, so the
+:class:`~repro.mr.runtime_model.ClusterModel` and the ``analysis``
+layer can consume *real* per-attempt timings instead of (or next to)
+the analytic per-task cost model.
+
+Wall-clock offsets are measured in the scheduling process: under the
+serial executor they bracket the task body exactly; under the process
+executor they include submission/pickling latency, which is precisely
+the overhead a real JobTracker would observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, Iterator
+
+#: Task kinds.
+MAP = "map"
+REDUCE = "reduce"
+
+#: Event types.
+START = "start"
+FINISH = "finish"
+FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One scheduling event of one task attempt."""
+
+    task_id: str
+    kind: str  # MAP | REDUCE
+    event: str  # START | FINISH | FAIL
+    attempt: int
+    #: Seconds since the job started (scheduler wall clock).
+    t_seconds: float
+    #: Measured CPU seconds of the attempt (FINISH events only).
+    cpu_seconds: float = 0.0
+    #: Map output bytes (map FINISH) / shuffle bytes fetched (reduce FINISH).
+    output_bytes: int = 0
+    #: Error description (FAIL events only).
+    error: str = ""
+
+
+class EventLog:
+    """An append-only, queryable sequence of :class:`TaskEvent`."""
+
+    def __init__(self, events: Iterable[TaskEvent] = ()) -> None:
+        self._events: list[TaskEvent] = list(events)
+
+    def append(self, event: TaskEvent) -> None:
+        self._events.append(event)
+
+    def __iter__(self) -> Iterator[TaskEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def for_task(self, task_id: str) -> list[TaskEvent]:
+        """All events of one task, in emission order."""
+        return [e for e in self._events if e.task_id == task_id]
+
+    def attempts(self, task_id: str) -> int:
+        """Number of attempts started for ``task_id``."""
+        return sum(
+            1
+            for e in self._events
+            if e.task_id == task_id and e.event == START
+        )
+
+    def failures(self, kind: str | None = None) -> list[TaskEvent]:
+        """All FAIL events (optionally restricted to one task kind)."""
+        return [
+            e
+            for e in self._events
+            if e.event == FAIL and (kind is None or e.kind == kind)
+        ]
+
+    def wall_durations(self, kind: str) -> dict[str, float]:
+        """Measured wall seconds of each *successful* attempt, by task.
+
+        The duration of a task is ``finish.t - start.t`` of its
+        finishing attempt; failed attempts are excluded (they did not
+        contribute a result).
+        """
+        starts: dict[tuple[str, int], float] = {}
+        durations: dict[str, float] = {}
+        for event in self._events:
+            if event.kind != kind:
+                continue
+            if event.event == START:
+                starts[(event.task_id, event.attempt)] = event.t_seconds
+            elif event.event == FINISH:
+                begin = starts.get((event.task_id, event.attempt))
+                if begin is not None:
+                    durations[event.task_id] = event.t_seconds - begin
+        return durations
+
+    def shuffle_bytes_by_task(self) -> dict[str, int]:
+        """Shuffle bytes fetched per reduce task (from FINISH events)."""
+        return {
+            e.task_id: e.output_bytes
+            for e in self._events
+            if e.kind == REDUCE and e.event == FINISH
+        }
+
+    def as_dicts(self) -> list[dict]:
+        """Plain-dict snapshot (for reports and JSON dumps)."""
+        return [asdict(e) for e in self._events]

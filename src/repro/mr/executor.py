@@ -1,0 +1,234 @@
+"""Pluggable task executors: where task attempts actually run.
+
+The scheduler (:mod:`repro.mr.scheduler`) is executor-agnostic: it
+submits task attempts through the :class:`Executor` interface and
+collects :class:`TaskFuture` results.  Two implementations are
+provided:
+
+* :class:`SerialExecutor` — runs every attempt inline, in submission
+  order, in the calling process.  This is the default and reproduces
+  the historical single-process behaviour exactly.
+* :class:`ParallelExecutor` — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` backend.  Task attempts (and their results)
+  cross a process boundary, which is why task inputs and outputs must
+  pickle; byte/record counters are required to be identical to the
+  serial executor's (the engine's tests pin this).
+
+A process-wide *default executor override* supports the CLI's
+``--jobs/-j`` flag and the ``REPRO_JOBS`` environment variable: when
+set, jobs that do not explicitly construct a runner with an executor
+use the override instead of their ``JobConf.executor`` knob.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable
+
+#: Executor names accepted by :func:`create_executor` / ``JobConf.executor``.
+SERIAL = "serial"
+PROCESS = "process"
+EXECUTOR_NAMES = (SERIAL, PROCESS)
+
+#: Environment variable naming the default worker count (0/1 = serial).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+class ExecutorError(RuntimeError):
+    """Raised for executor misconfiguration or infrastructure failure."""
+
+
+class UnpicklableJobError(ExecutorError):
+    """The job cannot cross a process boundary.
+
+    Raised before any task runs when a parallel executor is selected
+    but the job configuration does not pickle (e.g. a mapper factory
+    that is a ``lambda`` or a locally-defined class).
+    """
+
+
+class TaskFuture:
+    """Minimal future protocol the scheduler consumes."""
+
+    def result(self) -> Any:
+        """Block until the attempt finishes; return or raise its outcome."""
+        raise NotImplementedError
+
+
+class CompletedFuture(TaskFuture):
+    """An already-resolved future (the serial executor's currency)."""
+
+    def __init__(self, value: Any = None, error: BaseException | None = None):
+        self._value = value
+        self._error = error
+
+    def result(self) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class Executor:
+    """Runs submitted task attempts; see module docstring."""
+
+    name: str = "executor"
+    #: Whether submitted functions/arguments/results cross a process
+    #: boundary (and therefore must pickle).
+    requires_pickling: bool = False
+    max_workers: int = 1
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> TaskFuture:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Runs each attempt inline at submission time.
+
+    Exceptions are captured into the returned future so the scheduler's
+    retry path is identical across executors.
+    """
+
+    name = SERIAL
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> TaskFuture:
+        try:
+            return CompletedFuture(fn(*args))
+        except Exception as exc:
+            return CompletedFuture(error=exc)
+
+
+class _PoolFuture(TaskFuture):
+    def __init__(self, future: Any):
+        self._future = future
+
+    def result(self) -> Any:
+        return self._future.result()
+
+
+class ParallelExecutor(Executor):
+    """Process-pool executor: task attempts run in worker processes.
+
+    Uses the ``fork`` start method where available (cheap, inherits
+    imported modules) and the platform default elsewhere.
+    """
+
+    name = PROCESS
+    requires_pickling = True
+
+    def __init__(self, max_workers: int | None = None):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ExecutorError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=context
+        )
+        self._closed = False
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> TaskFuture:
+        if self._closed:
+            raise ExecutorError("executor already closed")
+        return _PoolFuture(self._pool.submit(fn, *args))
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+
+def create_executor(name: str, max_workers: int | None = None) -> Executor:
+    """Instantiate an executor by name (``"serial"`` or ``"process"``)."""
+    if name == SERIAL:
+        return SerialExecutor()
+    if name == PROCESS:
+        return ParallelExecutor(max_workers=max_workers)
+    known = ", ".join(EXECUTOR_NAMES)
+    raise ExecutorError(f"unknown executor {name!r}; known: {known}")
+
+
+def check_picklable(job: Any) -> None:
+    """Fail fast, with guidance, if ``job`` cannot cross processes."""
+    try:
+        pickle.dumps(job)
+    except Exception as exc:
+        raise UnpicklableJobError(
+            "job configuration does not pickle, so it cannot run on the "
+            "process executor; use module-level classes or "
+            "functools.partial (not lambdas or local classes) for the "
+            f"mapper/reducer/combiner factories ({exc})"
+        ) from exc
+
+
+# -- process-wide default override (CLI --jobs / REPRO_JOBS) ---------------
+
+_default_override: tuple[str, int | None] | None = None
+
+
+def set_default_executor(name: str, max_workers: int | None = None) -> None:
+    """Install a process-wide default executor specification."""
+    if name not in EXECUTOR_NAMES:
+        known = ", ".join(EXECUTOR_NAMES)
+        raise ExecutorError(f"unknown executor {name!r}; known: {known}")
+    global _default_override
+    _default_override = (name, max_workers)
+
+
+def clear_default_executor() -> None:
+    """Remove the process-wide default executor specification."""
+    global _default_override
+    _default_override = None
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Map a ``--jobs N`` request onto the default executor override."""
+    if jobs > 1:
+        set_default_executor(PROCESS, jobs)
+    else:
+        set_default_executor(SERIAL)
+
+
+def configure_from_env(environ: Any = None) -> bool:
+    """Install the override from ``REPRO_JOBS``; return whether it was set."""
+    env = os.environ if environ is None else environ
+    raw = env.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return False
+    try:
+        jobs = int(raw)
+    except ValueError as exc:
+        raise ExecutorError(
+            f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from exc
+    set_default_jobs(jobs)
+    return True
+
+
+def default_executor_spec() -> tuple[str, int | None] | None:
+    """The active override (explicit call wins over the environment)."""
+    if _default_override is not None:
+        return _default_override
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if raw:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return None
+        return (PROCESS, jobs) if jobs > 1 else (SERIAL, None)
+    return None

@@ -10,7 +10,7 @@ counters and never double-counted inside the user-function measurement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.mr import counters as C
@@ -19,20 +19,25 @@ from repro.mr.api import Context
 from repro.mr.buffer import MapOutputBuffer
 from repro.mr.config import JobConf
 from repro.mr.counters import Counters
-from repro.mr.segment import Segment
+from repro.mr.segment import SegmentPayload, export_segment
 from repro.mr.storage import LocalStore
 
 
 @dataclass
 class MapTaskResult:
-    """Output handle and measurements of one finished map task."""
+    """Output and measurements of one finished map task.
+
+    The result is self-contained and picklable: the final map-output
+    segments travel as :class:`~repro.mr.segment.SegmentPayload` byte
+    buffers rather than as handles into the task's (ephemeral) local
+    store, so a result can cross an executor's process boundary.
+    """
 
     task_id: str
-    #: Final map-output segments by partition (stored on this task's disk).
-    segments: dict[int, Segment]
+    #: Final map-output payloads by partition (detached segment bytes).
+    segments: dict[int, SegmentPayload]
     #: Task-local counters (the engine folds them into the job totals).
     counters: Counters
-    store: LocalStore = field(repr=False, default=None)  # type: ignore[assignment]
 
     @property
     def cpu_seconds(self) -> float:
@@ -97,9 +102,14 @@ class MapTask:
         flush_pending()
 
         segments = buffer.finalize()
+        # Detach the final segments from the task's store: the store
+        # (and its spill files) dies with the task, only the payloads
+        # and counters survive — and both pickle.
         return MapTaskResult(
             task_id=self.task_id,
-            segments=segments,
+            segments={
+                partition: export_segment(segment, self.task_id)
+                for partition, segment in segments.items()
+            },
             counters=counters,
-            store=store,
         )

@@ -10,7 +10,7 @@ the Reduce function in ascending key order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from repro.mr import counters as C
 from repro.mr import serde
@@ -19,19 +19,33 @@ from repro.mr.compress import get_codec
 from repro.mr.config import JobConf
 from repro.mr.counters import Counters
 from repro.mr.merge import group_by_key, merge_sorted
-from repro.mr.segment import Segment, iter_segment_bytes, write_segment
+from repro.mr.segment import (
+    Segment,
+    SegmentPayload,
+    iter_segment_bytes,
+    write_segment,
+)
 from repro.mr.storage import LocalStore
 
 
 @dataclass
 class ReduceTaskResult:
-    """Output and measurements of one finished reduce task."""
+    """Output and measurements of one finished reduce task.
+
+    Self-contained and picklable, like
+    :class:`~repro.mr.maptask.MapTaskResult`.
+    """
 
     task_id: str
     partition: int
     output: list[tuple[Any, Any]]
     counters: Counters
-    store: LocalStore = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Map-side charges incurred on behalf of the map tasks: the serve
+    #: reads that ship each map-output segment to this reduce task are
+    #: disk reads on the *map* node (as in Hadoop), so they are kept
+    #: out of this task's own counters and folded into the job totals
+    #: separately by the engine.
+    serve_counters: Counters = field(default_factory=Counters)
 
     @property
     def cpu_seconds(self) -> float:
@@ -50,10 +64,18 @@ class ReduceTask:
         self.partition = partition
         self.task_id = f"reduce{partition}"
 
-    def run(self, map_segments: list[Segment]) -> ReduceTaskResult:
+    def run(self, map_segments: Sequence[SegmentPayload]) -> ReduceTaskResult:
         job = self._job
         counters = Counters()
         store = LocalStore(counters, node=self.task_id)
+        # Map-output payloads are adopted into a serve store whose reads
+        # charge ``serve_counters`` — the map-side disk reads of the
+        # shuffle's serve phase, reported back to the engine separately.
+        serve_counters = Counters()
+        serve_store = LocalStore(serve_counters, node=f"{self.task_id}/serve")
+        segments = [
+            payload.to_segment(serve_store) for payload in map_segments
+        ]
         output: list[tuple[Any, Any]] = []
 
         def output_sink(key: Any, value: Any) -> None:
@@ -74,7 +96,7 @@ class ReduceTask:
             store=store,
         )
 
-        segments = self._fetch(map_segments, counters, store)
+        segments = self._fetch(segments, counters, store)
         stream = self._merged_stream(segments, counters, store)
 
         reducer = job.make_reducer()
@@ -96,7 +118,7 @@ class ReduceTask:
             partition=self.partition,
             output=output,
             counters=counters,
-            store=store,
+            serve_counters=serve_counters,
         )
 
     # -- shuffle fetch ---------------------------------------------------
@@ -108,11 +130,12 @@ class ReduceTask:
     ) -> list[Segment]:
         """Transfer this partition's segments from the map-side disks.
 
-        Reading a segment from its map task's store charges the *map*
-        task's counters (the serve read happens on the map node, as in
-        Hadoop); the transfer itself and any local staging are charged
-        here.  Fetched data larger than ``reduce_buffer_bytes`` is
-        staged on this task's local disk before merging.
+        Reading a segment from the serve store charges the shuffle's
+        *map-side* serve read (the read happens on the map node, as in
+        Hadoop — accounted via ``serve_counters``); the transfer itself
+        and any local staging are charged here.  Fetched data larger
+        than ``reduce_buffer_bytes`` is staged on this task's local
+        disk before merging.
         """
         job = self._job
         total_bytes = sum(seg.size_bytes for seg in map_segments)

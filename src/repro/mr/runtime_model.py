@@ -133,3 +133,38 @@ class ClusterModel:
             shuffle_seconds=shuffle_seconds,
             reduce_seconds=reduce_seconds,
         )
+
+    def estimate_from_events(self, events) -> RuntimeEstimate:
+        """Simulated runtime from an execution's *measured* task times.
+
+        ``events`` is the :class:`~repro.mr.events.EventLog` of a
+        finished job.  Instead of the analytic per-task cost model,
+        the real wall-clock duration of each successful task attempt
+        is FIFO-scheduled over the cluster's slots, and the shuffle is
+        sized from the per-reducer transfer bytes the reduce attempts
+        reported.  CPU scaling does not apply: measured durations
+        already include everything the attempt did.
+        """
+        map_durations = events.wall_durations("map")
+        reduce_durations = events.wall_durations("reduce")
+        shuffle_bytes = events.shuffle_bytes_by_task()
+        map_seconds = schedule_waves(
+            (map_durations[task] for task in sorted(map_durations)),
+            self.map_slots,
+        )
+        reduce_seconds = schedule_waves(
+            (reduce_durations[task] for task in sorted(reduce_durations)),
+            self.reduce_slots,
+        )
+        total_transfer = float(sum(shuffle_bytes.values()))
+        max_per_reducer = float(max(shuffle_bytes.values(), default=0))
+        aggregate = self.nic_bandwidth * self.num_workers
+        shuffle_seconds = max(
+            total_transfer / aggregate,
+            max_per_reducer / self.nic_bandwidth,
+        )
+        return RuntimeEstimate(
+            map_seconds=map_seconds,
+            shuffle_seconds=shuffle_seconds,
+            reduce_seconds=reduce_seconds,
+        )

@@ -1,0 +1,334 @@
+"""The job scheduler: map wave → shuffle → reduce wave, with retries.
+
+This is the layer between the :class:`~repro.mr.engine.LocalJobRunner`
+facade and the :mod:`~repro.mr.executor` backends.  It builds the
+task graph of one job (one map task per split, one reduce task per
+partition, a shuffle barrier in between), submits task attempts
+through the executor, retries failed attempts up to
+``JobConf.max_task_attempts`` under a pluggable :class:`FaultPolicy`,
+and assembles the :class:`~repro.mr.engine.JobResult` — including the
+structured :class:`~repro.mr.events.EventLog` of every attempt.
+
+Determinism contract: byte and record counters of the assembled result
+are *identical* across executors and fault schedules.  Results are
+collected and folded in task-index order regardless of completion
+order, failed attempts' counters are discarded wholesale, and the
+shuffle plan is a pure function of the map results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.mr import counters as C
+from repro.mr import events as E
+from repro.mr.config import JobConf
+from repro.mr.counters import Counters
+from repro.mr.events import EventLog, TaskEvent
+from repro.mr.executor import Executor, SerialExecutor, check_picklable
+from repro.mr.maptask import MapTask, MapTaskResult
+from repro.mr.reducetask import ReduceTask, ReduceTaskResult
+from repro.mr.runtime_model import TaskCost
+from repro.mr.segment import SegmentPayload
+
+Record = tuple[Any, Any]
+
+
+class InjectedTaskFailure(RuntimeError):
+    """A task attempt killed by the fault policy (simulated crash)."""
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its attempts; the job fails."""
+
+    def __init__(self, task_id: str, attempts: int, cause: BaseException):
+        super().__init__(
+            f"task {task_id} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.task_id = task_id
+        self.attempts = attempts
+        self.cause = cause
+
+
+class FaultPolicy:
+    """Decides which task attempts to kill (before they run).
+
+    The base policy injects no faults.  The policy is consulted in the
+    scheduling process; the kill itself happens inside the worker (the
+    attempt raises :class:`InjectedTaskFailure`), so the full
+    cross-executor failure path — including pickled exceptions from
+    worker processes — is exercised.
+    """
+
+    def should_fail(self, kind: str, task_id: str, attempt: int) -> bool:
+        return False
+
+
+class NoFaults(FaultPolicy):
+    """The default: every attempt runs."""
+
+
+class ScriptedFaults(FaultPolicy):
+    """Deterministic fault injection for tests.
+
+    ``fail_first`` maps a task id to the number of its leading attempts
+    to kill: ``{"map0": 1}`` kills ``map0``'s first attempt only, so
+    attempt 2 succeeds.
+    """
+
+    def __init__(self, fail_first: Mapping[str, int]):
+        self._fail_first = dict(fail_first)
+        self.injected: list[tuple[str, int]] = []
+
+    def should_fail(self, kind: str, task_id: str, attempt: int) -> bool:
+        if attempt <= self._fail_first.get(task_id, 0):
+            self.injected.append((task_id, attempt))
+            return True
+        return False
+
+
+# -- task attempt bodies (module-level: they must pickle) ------------------
+
+
+def _run_map_attempt(
+    job: JobConf, task_id: str, split: list[Record], inject_fault: bool
+) -> MapTaskResult:
+    if inject_fault:
+        raise InjectedTaskFailure(f"injected fault: {task_id}")
+    return MapTask(job, task_id).run(split)
+
+
+def _run_reduce_attempt(
+    job: JobConf,
+    partition: int,
+    payloads: list[SegmentPayload],
+    inject_fault: bool,
+) -> ReduceTaskResult:
+    if inject_fault:
+        raise InjectedTaskFailure(f"injected fault: reduce{partition}")
+    return ReduceTask(job, partition).run(payloads)
+
+
+class JobScheduler:
+    """Executes one job's task graph on an :class:`Executor`."""
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        fault_policy: FaultPolicy | None = None,
+        max_attempts: int | None = None,
+    ):
+        self._executor = executor if executor is not None else SerialExecutor()
+        self._policy = fault_policy if fault_policy is not None else NoFaults()
+        self._max_attempts = max_attempts
+
+    # -- wave execution ----------------------------------------------------
+    def _run_wave(
+        self,
+        kind: str,
+        task_ids: Sequence[str],
+        fn: Callable[..., Any],
+        args_for: Callable[[int, bool], tuple],
+        max_attempts: int,
+        events: EventLog,
+        clock: Callable[[], float],
+    ) -> list[Any]:
+        """Run one wave of tasks with per-task retries.
+
+        All first attempts are submitted together; failures are retried
+        in subsequent rounds (attempt numbers are per task).  Results
+        are returned in task order, independent of completion order.
+        """
+        results: list[Any] = [None] * len(task_ids)
+        attempt = {index: 1 for index in range(len(task_ids))}
+        pending = list(range(len(task_ids)))
+        while pending:
+            submitted = []
+            for index in pending:
+                task_id = task_ids[index]
+                inject = self._policy.should_fail(
+                    kind, task_id, attempt[index]
+                )
+                events.append(
+                    TaskEvent(
+                        task_id=task_id,
+                        kind=kind,
+                        event=E.START,
+                        attempt=attempt[index],
+                        t_seconds=clock(),
+                    )
+                )
+                submitted.append(
+                    (index, self._executor.submit(fn, *args_for(index, inject)))
+                )
+            failed: list[int] = []
+            for index, future in submitted:
+                task_id = task_ids[index]
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    events.append(
+                        TaskEvent(
+                            task_id=task_id,
+                            kind=kind,
+                            event=E.FAIL,
+                            attempt=attempt[index],
+                            t_seconds=clock(),
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    if attempt[index] >= max_attempts:
+                        if max_attempts == 1:
+                            # Fail-fast configuration: propagate the
+                            # task's exception unchanged (the
+                            # historical runner's behaviour).
+                            raise
+                        raise TaskFailedError(
+                            task_id, attempt[index], exc
+                        ) from exc
+                    attempt[index] += 1
+                    failed.append(index)
+                else:
+                    results[index] = result
+                    events.append(
+                        TaskEvent(
+                            task_id=task_id,
+                            kind=kind,
+                            event=E.FINISH,
+                            attempt=attempt[index],
+                            t_seconds=clock(),
+                            cpu_seconds=result.cpu_seconds,
+                            output_bytes=(
+                                result.output_bytes
+                                if kind == E.MAP
+                                else result.shuffle_bytes
+                            ),
+                        )
+                    )
+            pending = failed
+        return results
+
+    # -- the job -----------------------------------------------------------
+    def execute(
+        self, job: JobConf, splits: Sequence[Iterable[Record]]
+    ) -> "Any":
+        """Run ``job`` over ``splits``; returns a JobResult."""
+        # Imported here: engine imports this module (facade → scheduler).
+        from repro.mr.engine import JobResult
+
+        max_attempts = (
+            self._max_attempts
+            if self._max_attempts is not None
+            else job.max_task_attempts
+        )
+        if max_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+        if self._executor.requires_pickling:
+            check_picklable(job)
+
+        # Materialise the splits: retries (and worker processes) need
+        # re-iterable inputs, so one-shot iterables are drained once.
+        split_lists = [
+            split if isinstance(split, list) else list(split)
+            for split in splits
+        ]
+
+        events = EventLog()
+        start = time.monotonic()
+
+        def clock() -> float:
+            return time.monotonic() - start
+
+        # Map wave.
+        map_ids = [f"map{index}" for index in range(len(split_lists))]
+        map_results: list[MapTaskResult] = self._run_wave(
+            E.MAP,
+            map_ids,
+            _run_map_attempt,
+            lambda index, inject: (
+                job,
+                map_ids[index],
+                split_lists[index],
+                inject,
+            ),
+            max_attempts,
+            events,
+            clock,
+        )
+        map_costs = [
+            TaskCost(
+                task_id=result.task_id,
+                cpu_seconds=result.cpu_seconds,
+                disk_bytes=result.disk_read_bytes
+                + result.disk_write_bytes
+                + result.counters.get_int(C.HDFS_READ_BYTES)
+                + result.counters.get_int(C.HDFS_WRITE_BYTES),
+            )
+            for result in map_results
+        ]
+
+        # Shuffle plan: segments for each partition, in map-task order.
+        shuffle_plan: list[list[SegmentPayload]] = [
+            [
+                result.segments[partition]
+                for result in map_results
+                if partition in result.segments
+            ]
+            for partition in range(job.num_reducers)
+        ]
+
+        # Reduce wave.
+        reduce_ids = [
+            f"reduce{partition}" for partition in range(job.num_reducers)
+        ]
+        reduce_results: list[ReduceTaskResult] = self._run_wave(
+            E.REDUCE,
+            reduce_ids,
+            _run_reduce_attempt,
+            lambda index, inject: (job, index, shuffle_plan[index], inject),
+            max_attempts,
+            events,
+            clock,
+        )
+        reduce_costs = [
+            TaskCost(
+                task_id=result.task_id,
+                cpu_seconds=result.cpu_seconds,
+                disk_bytes=result.counters.get_int(C.DISK_READ_BYTES)
+                + result.counters.get_int(C.DISK_WRITE_BYTES)
+                + result.counters.get_int(C.HDFS_READ_BYTES)
+                + result.counters.get_int(C.HDFS_WRITE_BYTES),
+                reexecutions=result.counters.get_int(
+                    C.ANTI_REDUCE_MAP_REEXECUTIONS
+                ),
+            )
+            for result in reduce_results
+        ]
+
+        # Fold counters in task order: map tasks, then reduce tasks,
+        # then the shuffle's map-side serve reads.  The serve-read
+        # charges are integer byte counts, so folding them after the
+        # task counters is exact (and keeps totals byte-identical to
+        # the historical single-pass runner).
+        totals = Counters()
+        for result in map_results:
+            totals.merge(result.counters)
+        for result in reduce_results:
+            totals.merge(result.counters)
+        for result in reduce_results:
+            totals.merge(result.serve_counters)
+
+        return JobResult(
+            job_name=job.name,
+            outputs_by_partition={
+                r.partition: r.output for r in reduce_results
+            },
+            counters=totals,
+            map_task_costs=map_costs,
+            reduce_task_costs=reduce_costs,
+            shuffle_bytes_per_reducer=[
+                r.shuffle_bytes for r in reduce_results
+            ],
+            events=events,
+        )

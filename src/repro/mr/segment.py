@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.mr import serde
-from repro.mr.compress import Codec
+from repro.mr.compress import Codec, get_codec
 
 
 def build_segment_bytes(
@@ -72,6 +72,77 @@ class Segment:
 
     def delete(self) -> None:
         self.store.delete_file(self.name)
+
+
+@dataclass(frozen=True)
+class SegmentPayload:
+    """A segment detached from its store: pure bytes plus metadata.
+
+    This is the form in which map output crosses an executor boundary
+    (the segment bytes travel with the task result, like a serve read
+    shipping a map-output file to the reduce node).  It is picklable —
+    it carries the codec *name*, not the codec object, and no store
+    reference.
+    """
+
+    name: str
+    partition: int
+    record_count: int
+    raw_bytes: int
+    codec_name: str | None
+    data: bytes
+    #: The map task that produced this segment.
+    origin: str = ""
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk (post-compression) size."""
+        return len(self.data)
+
+    @property
+    def codec(self) -> Codec:
+        return get_codec(self.codec_name)
+
+    def scan(self) -> Iterator[tuple[Any, Any]]:
+        """Yield records in sorted order (no disk accounting: the
+        payload is an already-fetched in-memory copy)."""
+        yield from iter_segment_bytes(self.data, self.codec)
+
+    def to_segment(self, store: Any) -> Segment:
+        """Materialise this payload as a file in ``store``.
+
+        The adoption itself is free of charge: the bytes were written
+        (and charged) on the producing task's disk; reading them out of
+        ``store`` charges that store's counters, which is how the serve
+        read of the shuffle is accounted.
+        """
+        store.adopt_file(self.name, self.data)
+        return Segment(
+            store=store,
+            name=self.name,
+            partition=self.partition,
+            record_count=self.record_count,
+            raw_bytes=self.raw_bytes,
+            codec=self.codec,
+        )
+
+
+def export_segment(segment: Segment, origin: str) -> SegmentPayload:
+    """Detach ``segment`` from its store as a :class:`SegmentPayload`.
+
+    The export does not charge a disk read: the serve read that ships
+    the bytes to a reduce task is charged when the payload is fetched
+    (see :meth:`~repro.mr.reducetask.ReduceTask.run`).
+    """
+    return SegmentPayload(
+        name=segment.name,
+        partition=segment.partition,
+        record_count=segment.record_count,
+        raw_bytes=segment.raw_bytes,
+        codec_name=segment.codec.name,
+        data=segment.store.peek_file(segment.name),
+        origin=origin,
+    )
 
 
 def write_segment(

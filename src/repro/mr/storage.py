@@ -50,6 +50,29 @@ class LocalStore:
         self.counters.add(C.DISK_READ_BYTES, len(data))
         return data
 
+    def peek_file(self, name: str) -> bytes:
+        """Read a whole file *without* charging a disk read.
+
+        Used when exporting already-written bytes across an executor
+        boundary (segment payloads): the write was charged here, and
+        the consuming side charges the serve read when it fetches.
+        """
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file: {name}") from None
+
+    def adopt_file(self, name: str, data: bytes) -> None:
+        """Register bytes written (and charged) on another task's disk.
+
+        The reduce task adopts the map-output payloads this way so that
+        subsequent :meth:`read_file` calls charge the adopting store's
+        counters — the accounting of the shuffle's serve read.
+        """
+        if name in self._files:
+            raise StorageError(f"file already exists: {name}")
+        self._files[name] = data
+
     def delete_file(self, name: str) -> None:
         """Delete ``name`` (idempotent, free of charge)."""
         self._files.pop(name, None)

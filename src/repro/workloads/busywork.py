@@ -16,6 +16,7 @@ to grow linearly in ``x``.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable
 
 from repro.mr.api import Context, Mapper
@@ -65,9 +66,11 @@ def busywork_mapper_factory(
     units: float,
     iterations_per_unit: int = DEFAULT_ITERATIONS_PER_UNIT,
 ) -> Callable[[], Mapper]:
-    """A factory producing busy-work-wrapped mappers (for ``JobConf``)."""
+    """A factory producing busy-work-wrapped mappers (for ``JobConf``).
 
-    def factory() -> BusyWorkMapper:
-        return BusyWorkMapper(mapper_factory, units, iterations_per_unit)
-
-    return factory
+    A ``functools.partial`` (not a closure) so the resulting job
+    pickles and can run on the process executor.
+    """
+    return partial(
+        BusyWorkMapper, mapper_factory, units, iterations_per_unit
+    )

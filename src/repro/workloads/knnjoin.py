@@ -24,6 +24,7 @@ exactly one cell, so candidate lists never double-count.
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Any, Iterator
 
 from repro.mr.api import (
@@ -137,8 +138,8 @@ def knn_join_job(
 ) -> JobConf:
     """The first (replicated block) job of the kNN join."""
     return JobConf(
-        mapper=lambda: KnnBlockMapper(num_blocks),
-        reducer=lambda: KnnCellReducer(k),
+        mapper=partial(KnnBlockMapper, num_blocks),
+        reducer=partial(KnnCellReducer, k),
         partitioner=_CellPartitioner(),
         num_reducers=num_reducers,
         name="knn-join",
@@ -164,7 +165,7 @@ def run_knn_join(
     first = runner.run(job, split_records(records, num_splits=num_splits))
     merge_job = job.clone(
         mapper=Mapper,
-        reducer=lambda: KnnMergeReducer(k),
+        reducer=partial(KnnMergeReducer, k),
         combiner=None,
         partitioner=HashPartitioner(),
         name="knn-merge",

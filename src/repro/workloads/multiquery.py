@@ -17,6 +17,7 @@ input once per reduce task regardless of how many queries want it.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.mr.api import (
@@ -127,8 +128,8 @@ def shared_scan_job(
     if len(set(names)) != len(names):
         raise ValueError("query names must be unique")
     return JobConf(
-        mapper=lambda: SharedScanMapper(queries),
-        reducer=lambda: SharedScanReducer(queries),
+        mapper=partial(SharedScanMapper, queries),
+        reducer=partial(SharedScanReducer, queries),
         partitioner=SharedKeyPartitioner(),
         num_reducers=num_reducers,
         name="shared-scan[" + ",".join(names) + "]",

@@ -20,6 +20,7 @@ contribute nothing, the standard simplification.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Iterator, Sequence
 
 from repro.mr.api import Combiner, Context, Mapper, Reducer
@@ -93,7 +94,7 @@ def pagerank_job(
     """One PageRank iteration as a job configuration."""
     return JobConf(
         mapper=PageRankMapper,
-        reducer=lambda: PageRankReducer(num_nodes, damping),
+        reducer=partial(PageRankReducer, num_nodes, damping),
         combiner=PageRankCombiner if with_combiner else None,
         num_reducers=num_reducers,
         name="pagerank",

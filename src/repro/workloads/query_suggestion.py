@@ -23,6 +23,7 @@ sharing) or 5 ("Prefix-5", sharing with more parallelism).
 
 from __future__ import annotations
 
+from functools import partial
 from collections import Counter
 from typing import Any, Iterator
 
@@ -107,7 +108,7 @@ def query_suggestion_job(
     """A ready-to-run Query-Suggestion job configuration."""
     return JobConf(
         mapper=QuerySuggestionMapper,
-        reducer=lambda: QuerySuggestionReducer(k=k),
+        reducer=partial(QuerySuggestionReducer, k=k),
         combiner=QuerySuggestionCombiner if with_combiner else None,
         partitioner=partitioner
         if partitioner is not None

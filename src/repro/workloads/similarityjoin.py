@@ -23,6 +23,7 @@ kernel of the Vernica et al. algorithm as one MapReduce job:
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Any, Iterator
 
 from repro.mr.api import Context, Mapper, Reducer
@@ -102,8 +103,8 @@ def similarity_join_job(
 ) -> JobConf:
     """A ready-to-run set-similarity self-join job configuration."""
     return JobConf(
-        mapper=lambda: SimilarityJoinMapper(threshold),
-        reducer=lambda: SimilarityJoinReducer(threshold),
+        mapper=partial(SimilarityJoinMapper, threshold),
+        reducer=partial(SimilarityJoinReducer, threshold),
         num_reducers=num_reducers,
         name="similarity-join",
         **job_kwargs,

@@ -22,6 +22,7 @@ values is precisely the EagerSH/LazySH opportunity.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Iterator
 
 from repro.mr.api import (
@@ -112,7 +113,7 @@ def star_join_job(
 ) -> JobConf:
     """A ready-to-run 3-way chain-join job configuration."""
     return JobConf(
-        mapper=lambda: StarJoinMapper(b_shares, c_shares),
+        mapper=partial(StarJoinMapper, b_shares, c_shares),
         reducer=StarJoinReducer,
         partitioner=CellPartitioner(),
         num_reducers=num_reducers,

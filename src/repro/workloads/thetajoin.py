@@ -33,6 +33,7 @@ Riedewald, SIGMOD 2011), which we implement here:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Iterator
 
 from repro.mr.api import (
@@ -127,8 +128,8 @@ def band_join_job(
 ) -> JobConf:
     """A ready-to-run 1-Bucket-Theta band-join job configuration."""
     return JobConf(
-        mapper=lambda: OneBucketThetaMapper(grid_rows, grid_cols),
-        reducer=lambda: BandJoinReducer(predicate),
+        mapper=partial(OneBucketThetaMapper, grid_rows, grid_cols),
+        reducer=partial(BandJoinReducer, predicate),
         partitioner=RegionPartitioner(),
         num_reducers=num_reducers,
         name="theta-join",

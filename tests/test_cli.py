@@ -7,11 +7,13 @@ import pytest
 from repro.cli import (
     EXPERIMENTS,
     _convert,
+    _extract_jobs_flag,
     _parse_overrides,
     _tunable_params,
     main,
 )
 from repro.experiments import run_fig9
+from repro.mr.executor import clear_default_executor, default_executor_spec
 
 
 class TestRegistry:
@@ -60,6 +62,45 @@ class TestParamParsing:
     def test_not_a_flag(self) -> None:
         with pytest.raises(ValueError, match="expected --param"):
             _parse_overrides(["num-queries", "1"], run_fig9)
+
+
+class TestJobsFlag:
+    def test_extract_jobs_flag(self) -> None:
+        jobs, rest = _extract_jobs_flag(
+            ["--num-queries", "100", "-j", "4", "--seed", "7"]
+        )
+        assert jobs == 4
+        assert rest == ["--num-queries", "100", "--seed", "7"]
+        jobs, rest = _extract_jobs_flag(["--jobs", "2"])
+        assert (jobs, rest) == (2, [])
+        jobs, rest = _extract_jobs_flag(["--num-queries", "100"])
+        assert (jobs, rest) == (None, ["--num-queries", "100"])
+
+    def test_extract_jobs_flag_missing_value(self) -> None:
+        with pytest.raises(ValueError, match="missing value"):
+            _extract_jobs_flag(["-j"])
+
+    def test_run_with_jobs_installs_override(self, capsys) -> None:
+        try:
+            status = main(
+                [
+                    "run",
+                    "sec71",
+                    "-j",
+                    "2",
+                    "--num-lines",
+                    "120",
+                    "--num-reducers",
+                    "2",
+                    "--num-splits",
+                    "2",
+                ]
+            )
+            assert status == 0
+            assert default_executor_spec() == ("process", 2)
+            assert "Section 7.1" in capsys.readouterr().out
+        finally:
+            clear_default_executor()
 
 
 class TestCommands:

@@ -1,0 +1,181 @@
+"""Unit tests for the executor layer (:mod:`repro.mr.executor`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mr.executor import (
+    EXECUTOR_NAMES,
+    JOBS_ENV_VAR,
+    ExecutorError,
+    ParallelExecutor,
+    SerialExecutor,
+    UnpicklableJobError,
+    check_picklable,
+    clear_default_executor,
+    configure_from_env,
+    create_executor,
+    default_executor_spec,
+    set_default_executor,
+    set_default_jobs,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_override(monkeypatch):
+    """Every test starts with no process-wide override and no env."""
+    monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+    clear_default_executor()
+    yield
+    clear_default_executor()
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom() -> None:
+    raise ValueError("boom")
+
+
+class TestCreateExecutor:
+    def test_names_registry(self) -> None:
+        assert set(EXECUTOR_NAMES) == {"serial", "process"}
+
+    def test_serial_by_name(self) -> None:
+        executor = create_executor("serial")
+        assert isinstance(executor, SerialExecutor)
+        assert executor.name == "serial"
+        assert not executor.requires_pickling
+        assert executor.max_workers == 1
+
+    def test_process_by_name(self) -> None:
+        with create_executor("process", max_workers=2) as executor:
+            assert isinstance(executor, ParallelExecutor)
+            assert executor.name == "process"
+            assert executor.requires_pickling
+            assert executor.max_workers == 2
+
+    def test_unknown_name_raises(self) -> None:
+        with pytest.raises(ExecutorError, match="unknown executor"):
+            create_executor("threads")
+
+    def test_bad_worker_count_raises(self) -> None:
+        with pytest.raises(ExecutorError, match="max_workers"):
+            ParallelExecutor(max_workers=0)
+
+
+class TestSerialExecutor:
+    def test_runs_inline(self) -> None:
+        ran = []
+        executor = SerialExecutor()
+        future = executor.submit(ran.append, 1)
+        assert ran == [1]  # eager: already ran at submit time
+        assert future.result() is None
+
+    def test_result_value(self) -> None:
+        assert SerialExecutor().submit(_square, 7).result() == 49
+
+    def test_exception_captured_into_future(self) -> None:
+        future = SerialExecutor().submit(_boom)
+        with pytest.raises(ValueError, match="boom"):
+            future.result()
+
+
+class TestParallelExecutor:
+    def test_round_trips_across_processes(self) -> None:
+        with ParallelExecutor(max_workers=2) as executor:
+            futures = [executor.submit(_square, n) for n in range(5)]
+            assert [f.result() for f in futures] == [0, 1, 4, 9, 16]
+
+    def test_exception_crosses_process_boundary(self) -> None:
+        with ParallelExecutor(max_workers=1) as executor:
+            future = executor.submit(_boom)
+            with pytest.raises(ValueError, match="boom"):
+                future.result()
+
+    def test_submit_after_close_raises(self) -> None:
+        executor = ParallelExecutor(max_workers=1)
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(ExecutorError, match="closed"):
+            executor.submit(_square, 1)
+
+
+class TestCheckPicklable:
+    def test_picklable_job_passes(self) -> None:
+        from repro.workloads.wordcount import wordcount_job
+
+        check_picklable(wordcount_job())
+
+    def test_lambda_factory_fails_with_guidance(self) -> None:
+        from repro.mr.api import Reducer
+        from repro.mr.config import JobConf
+        from repro.workloads.wordcount import WordCountMapper
+
+        job = JobConf(
+            mapper=lambda: WordCountMapper(), reducer=Reducer, num_reducers=2
+        )
+        with pytest.raises(UnpicklableJobError, match="functools.partial"):
+            check_picklable(job)
+
+
+class TestDefaultOverride:
+    def test_unset_by_default(self) -> None:
+        assert default_executor_spec() is None
+
+    def test_set_default_executor(self) -> None:
+        set_default_executor("process", 4)
+        assert default_executor_spec() == ("process", 4)
+        clear_default_executor()
+        assert default_executor_spec() is None
+
+    def test_set_default_executor_rejects_unknown(self) -> None:
+        with pytest.raises(ExecutorError, match="unknown executor"):
+            set_default_executor("threads")
+
+    def test_set_default_jobs(self) -> None:
+        set_default_jobs(3)
+        assert default_executor_spec() == ("process", 3)
+        set_default_jobs(1)
+        assert default_executor_spec() == ("serial", None)
+
+    def test_env_fallback(self, monkeypatch) -> None:
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert default_executor_spec() == ("process", 5)
+        monkeypatch.setenv(JOBS_ENV_VAR, "1")
+        assert default_executor_spec() == ("serial", None)
+        monkeypatch.setenv(JOBS_ENV_VAR, "not-a-number")
+        assert default_executor_spec() is None  # malformed env is ignored
+
+    def test_explicit_override_beats_env(self, monkeypatch) -> None:
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        set_default_jobs(1)
+        assert default_executor_spec() == ("serial", None)
+
+    def test_configure_from_env(self, monkeypatch) -> None:
+        assert not configure_from_env({})
+        assert configure_from_env({JOBS_ENV_VAR: "2"})
+        assert default_executor_spec() == ("process", 2)
+        with pytest.raises(ExecutorError, match="integer"):
+            configure_from_env({JOBS_ENV_VAR: "many"})
+
+
+class TestJobConfKnobs:
+    def test_defaults(self) -> None:
+        from repro.workloads.wordcount import wordcount_job
+
+        job = wordcount_job()
+        assert job.executor == "serial"
+        assert job.max_workers is None
+        assert job.max_task_attempts == 1
+
+    def test_validation(self) -> None:
+        from repro.workloads.wordcount import wordcount_job
+
+        with pytest.raises(ValueError, match="executor"):
+            wordcount_job(executor="threads")
+        with pytest.raises(ValueError, match="max_workers"):
+            wordcount_job(executor="process", max_workers=0)
+        with pytest.raises(ValueError, match="max_task_attempts"):
+            wordcount_job(max_task_attempts=0)
