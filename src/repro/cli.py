@@ -13,8 +13,17 @@ Commands:
   map/reduce tasks on a pool of ``N`` worker processes instead of
   serially; ``REPRO_JOBS=N`` in the environment is the fallback.
   Counters are byte-identical either way.
+* ``--trace PATH`` (anywhere on the ``run`` line) records phase spans
+  and per-attempt events for every job the experiment runs and writes
+  a Chrome-trace JSON (loadable in ``chrome://tracing`` / Perfetto)
+  plus a flat ``.jsonl`` sibling.
+* ``python -m repro trace <events.jsonl>`` — render the per-phase
+  profiling breakdown of a recorded ``.jsonl`` trace.
 * ``python -m repro summary`` — aggregate the benchmark reports under
   ``benchmarks/results/`` into one document.
+
+Parameter overrides accept both ``--param value`` and ``--param=value``;
+an unknown parameter fails with the experiment's tunable list.
 """
 
 from __future__ import annotations
@@ -119,33 +128,45 @@ def _convert(raw: str, default: Any) -> Any:
     return raw
 
 
-def _extract_jobs_flag(pairs: list[str]) -> tuple[int | None, list[str]]:
-    """Split a trailing ``--jobs/-j N`` out of the override pairs.
+def _extract_runner_flags(
+    pairs: list[str],
+) -> tuple[int | None, str | None, list[str]]:
+    """Split ``--jobs/-j N`` and ``--trace PATH`` out of the overrides.
 
     The ``run`` sub-parser collects everything after the experiment
-    name into ``overrides`` (argparse.REMAINDER), so a ``-j`` given
-    *after* the experiment lands there instead of on the parser.
+    name into ``overrides`` (argparse.REMAINDER), so runner flags given
+    *after* the experiment land there instead of on the parser.  Both
+    ``--flag value`` and ``--flag=value`` spellings are accepted.
     """
     jobs: int | None = None
+    trace: str | None = None
     rest: list[str] = []
     index = 0
     while index < len(pairs):
         flag = pairs[index]
-        if flag in ("-j", "--jobs"):
-            if index + 1 >= len(pairs):
-                raise ValueError(f"missing value for {flag!r}")
-            jobs = int(pairs[index + 1])
-            index += 2
-            continue
-        rest.append(flag)
+        name, eq, inline = flag.partition("=")
+        if name in ("-j", "--jobs", "--trace"):
+            if eq:
+                value = inline
+            else:
+                if index + 1 >= len(pairs):
+                    raise ValueError(f"missing value for {flag!r}")
+                value = pairs[index + 1]
+                index += 1
+            if name == "--trace":
+                trace = value
+            else:
+                jobs = int(value)
+        else:
+            rest.append(flag)
         index += 1
-    return jobs, rest
+    return jobs, trace, rest
 
 
 def _parse_overrides(
     pairs: list[str], fn: Callable[..., Any]
 ) -> dict[str, Any]:
-    """Parse ``--key value`` pairs against the driver's signature."""
+    """Parse ``--key value`` / ``--key=value`` pairs for the driver."""
     tunable = _tunable_params(fn)
     overrides: dict[str, Any] = {}
     index = 0
@@ -153,14 +174,28 @@ def _parse_overrides(
         flag = pairs[index]
         if not flag.startswith("--"):
             raise ValueError(f"expected --param, got {flag!r}")
-        name = flag[2:].replace("-", "_")
+        name, eq, inline = flag[2:].partition("=")
+        name = name.replace("-", "_")
         if name not in tunable:
-            known = ", ".join(sorted(tunable))
-            raise ValueError(f"unknown parameter {flag!r}; known: {known}")
-        if index + 1 >= len(pairs):
-            raise ValueError(f"missing value for {flag!r}")
-        overrides[name] = _convert(pairs[index + 1], tunable[name])
-        index += 2
+            known = ", ".join(
+                f"--{key.replace('_', '-')}" for key in sorted(tunable)
+            )
+            raise ValueError(
+                f"unknown parameter {flag!r} for this experiment; "
+                f"tunable parameters: {known}"
+            )
+        if eq:
+            raw = inline
+            index += 1
+        else:
+            if index + 1 >= len(pairs):
+                raise ValueError(f"missing value for {flag!r}")
+            raw = pairs[index + 1]
+            index += 2
+        try:
+            overrides[name] = _convert(raw, tunable[name])
+        except ValueError as exc:
+            raise ValueError(f"bad value for {flag!r}: {exc}") from exc
     return overrides
 
 
@@ -176,33 +211,93 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(name: str, overrides: list[str]) -> int:
-    if name == "all":
-        for exp_name in EXPERIMENTS:
-            status = _cmd_run(exp_name, [])
-            if status:
-                return status
-            print()
-        return 0
-    if name not in EXPERIMENTS:
-        print(
-            f"unknown experiment {name!r}; run 'python -m repro list'",
-            file=sys.stderr,
-        )
-        return 2
-    fn, _ = EXPERIMENTS[name]
+def _write_traces(trace_path: str, collector: Any) -> None:
+    """Write the collected traces: Chrome JSON + a ``.jsonl`` sibling."""
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    chrome_path = pathlib.Path(trace_path)
+    if chrome_path.suffix == ".jsonl":
+        chrome_path = chrome_path.with_suffix(".json")
+    jsonl_path = chrome_path.with_suffix(".jsonl")
+    write_chrome_trace(chrome_path, collector.jobs)
+    write_jsonl(jsonl_path, collector.jobs)
+    print(
+        f"trace: {len(collector.jobs)} job(s) -> {chrome_path} "
+        f"(chrome://tracing / Perfetto) + {jsonl_path} "
+        "(python -m repro trace)",
+        file=sys.stderr,
+    )
+
+
+def _cmd_run(
+    name: str, overrides: list[str], trace_path: str | None = None
+) -> int:
     try:
-        jobs, overrides = _extract_jobs_flag(overrides)
+        jobs, flag_trace, overrides = _extract_runner_flags(overrides)
         if jobs is not None:
             from repro.mr.executor import set_default_jobs
 
             set_default_jobs(jobs)
-        kwargs = _parse_overrides(overrides, fn)
+        if flag_trace is not None:
+            trace_path = flag_trace
+        if name == "all":
+            if overrides:
+                raise ValueError(
+                    "parameter overrides do not apply to 'run all'; "
+                    "run one experiment to override its parameters"
+                )
+            names = list(EXPERIMENTS)
+            kwargs_by_name: dict[str, dict[str, Any]] = {
+                exp_name: {} for exp_name in names
+            }
+        else:
+            if name not in EXPERIMENTS:
+                print(
+                    f"unknown experiment {name!r}; "
+                    "run 'python -m repro list'",
+                    file=sys.stderr,
+                )
+                return 2
+            names = [name]
+            kwargs_by_name = {
+                name: _parse_overrides(overrides, EXPERIMENTS[name][0])
+            }
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = fn(**kwargs)
-    print(result.report())
+
+    collector = None
+    if trace_path is not None:
+        from repro.obs.trace import TraceCollector, set_trace_collector
+
+        collector = TraceCollector()
+        set_trace_collector(collector)
+    try:
+        for index, exp_name in enumerate(names):
+            if index:
+                print()
+            fn, _ = EXPERIMENTS[exp_name]
+            result = fn(**kwargs_by_name[exp_name])
+            print(result.report())
+    finally:
+        if collector is not None:
+            from repro.obs.trace import clear_trace_collector
+
+            clear_trace_collector()
+    if collector is not None and trace_path is not None:
+        _write_traces(trace_path, collector)
+    return 0
+
+
+def _cmd_trace(path: str) -> int:
+    trace_file = pathlib.Path(path)
+    if not trace_file.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    from repro.analysis.tracereport import render_trace_report
+    from repro.obs.export import load_jsonl
+
+    print(render_trace_report(load_jsonl(trace_file)))
     return 0
 
 
@@ -234,9 +329,22 @@ def main(argv: list[str] | None = None) -> int:
         "(default: serial; REPRO_JOBS env is the fallback)",
     )
     run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record phase spans + scheduling events; writes "
+        "Chrome-trace JSON to PATH and a .jsonl sibling",
+    )
+    run_parser.add_argument(
         "overrides",
         nargs=argparse.REMAINDER,
-        help="parameter overrides as --param value pairs",
+        help="parameter overrides as --param value (or --param=value) pairs",
+    )
+    trace_parser = subparsers.add_parser(
+        "trace", help="per-phase breakdown of a recorded .jsonl trace"
+    )
+    trace_parser.add_argument(
+        "events", help="the .jsonl file written by 'run --trace'"
     )
     summary_parser = subparsers.add_parser(
         "summary", help="aggregate persisted benchmark reports"
@@ -252,11 +360,13 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "summary":
             return _cmd_summary(args.results_dir)
+        if args.command == "trace":
+            return _cmd_trace(args.events)
         if args.jobs is not None:
             from repro.mr.executor import set_default_jobs
 
             set_default_jobs(args.jobs)
-        return _cmd_run(args.experiment, args.overrides)
+        return _cmd_run(args.experiment, args.overrides, args.trace)
     except BrokenPipeError:
         # stdout went away (e.g. piped into `head`); exit quietly
         import os

@@ -31,6 +31,7 @@ from repro.core.runtime import AntiRuntime
 from repro.core.shared import Shared
 from repro.mr import counters as C
 from repro.mr.api import Context, Mapper, Reducer
+from repro.obs.trace import current_tracer
 
 ReduceFn = Callable[[Any, Iterator[Any], Context], None]
 
@@ -61,6 +62,7 @@ class DecodeLoop:
         self._context = context
         self._target = target
         self._partition = context.partition
+        self._tracer = current_tracer()
         # A private original-mapper instance for LazySH re-execution
         # (paper Fig. 8: "Decoding for LazySH calls o_mapper.map").
         self._o_mapper: Mapper = runtime.mapper_factory()
@@ -99,9 +101,25 @@ class DecodeLoop:
     def decode_values(
         self, rep_key: Any, values: Iterator[Any], context: Context
     ) -> None:
-        """Decode one group's encoded value components into Shared."""
+        """Decode one group's encoded value components into Shared.
+
+        The whole group decode — including every ``Shared.add`` insert
+        it performs — is one ``shared.decode`` span, so per-record
+        inserts are aggregated rather than traced individually.
+        """
+        with self._tracer.span(
+            "shared.decode", category="shared"
+        ) as span:
+            components = self._decode_components(rep_key, values, context)
+            span.set(components=components)
+
+    def _decode_components(
+        self, rep_key: Any, values: Iterator[Any], context: Context
+    ) -> int:
         shared = self.shared
+        components = 0
         for component in values:
+            components += 1
             tag = encoding.tag_of(component)
             if tag == encoding.PLAIN:
                 shared.add(rep_key, encoding.plain_payload(component))
@@ -113,6 +131,7 @@ class DecodeLoop:
             else:  # LAZY
                 input_key, input_value = encoding.lazy_payload(component)
                 self._reexecute_map(input_key, input_value, context)
+        return components
 
     def _reexecute_map(
         self, input_key: Any, input_value: Any, context: Context

@@ -38,6 +38,7 @@ from repro.mr.api import Combiner, Context
 from repro.mr.comparators import Comparator
 from repro.mr.counters import Counters
 from repro.mr.storage import LocalStore, SpillWriter
+from repro.obs.trace import current_tracer
 
 
 class _Entry:
@@ -125,6 +126,10 @@ class Shared:
         self._mem_bytes = 0
         self._runs: list[_Run] = []
         self._spill_count = 0
+        self._spilled_records = 0
+        # Captured once: Shared lives and dies inside one task attempt,
+        # whose body activated the tracer (or left the no-op default).
+        self._tracer = current_tracer()
 
     @staticmethod
     def _key_id(key: Any) -> Any:
@@ -262,6 +267,11 @@ class Shared:
     def spill_count(self) -> int:
         return self._spill_count
 
+    @property
+    def spilled_records(self) -> int:
+        """Total records written to spill runs (merges not re-counted)."""
+        return self._spilled_records
+
     # -- spilling --------------------------------------------------------
     def _spill(self) -> None:
         """Drain the in-memory table to a sorted run on local disk."""
@@ -269,15 +279,23 @@ class Shared:
             return
         name = f"{self._name_prefix}/run{self._spill_count}"
         self._spill_count += 1
-        writer = SpillWriter(self._store, name)
-        while self._heap:
-            wrapper = heapq.heappop(self._heap)
-            entry = self._table.pop(self._key_id(wrapper.obj))
-            for value in entry.values:
-                writer.append(entry.key, value)
-        spill_file = writer.close()
+        with self._tracer.span(
+            "shared.spill", category="shared", run=name
+        ) as span:
+            writer = SpillWriter(self._store, name)
+            records = 0
+            while self._heap:
+                wrapper = heapq.heappop(self._heap)
+                entry = self._table.pop(self._key_id(wrapper.obj))
+                for value in entry.values:
+                    writer.append(entry.key, value)
+                    records += 1
+            spill_file = writer.close()
+            span.set(records=records, bytes=spill_file.size_bytes)
+        self._spilled_records += records
         self._counters.add(C.ANTI_SHARED_SPILLS)
         self._counters.add(C.ANTI_SHARED_SPILLED_BYTES, spill_file.size_bytes)
+        self._counters.add(C.ANTI_SHARED_SPILLED_RECORDS, records)
         self._mem_bytes = 0
         self._runs.append(_Run(spill_file.scan(), name))
         if len(self._runs) > self._merge_threshold:
@@ -286,14 +304,19 @@ class Shared:
     def _merge_runs(self) -> None:
         """Merge all runs into one, mirroring map-side spill merging."""
         name = f"{self._name_prefix}/merge{self._spill_count}"
-        writer = SpillWriter(self._store, name)
-        streams = [run.drain() for run in self._runs]
-        merged = heapq.merge(
-            *streams, key=lambda record: self._key_fn(record[0])
-        )
-        for key, value in merged:
-            writer.append(key, value)
-        for run in self._runs:
-            self._store.delete_file(run.name)
-        spill_file = writer.close()
-        self._runs = [_Run(spill_file.scan(), name)]
+        with self._tracer.span(
+            "shared.run-merge",
+            category="shared",
+            runs=len(self._runs),
+        ):
+            writer = SpillWriter(self._store, name)
+            streams = [run.drain() for run in self._runs]
+            merged = heapq.merge(
+                *streams, key=lambda record: self._key_fn(record[0])
+            )
+            for key, value in merged:
+                writer.append(key, value)
+            for run in self._runs:
+                self._store.delete_file(run.name)
+            spill_file = writer.close()
+            self._runs = [_Run(spill_file.scan(), name)]

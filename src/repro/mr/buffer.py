@@ -33,6 +33,7 @@ from repro.mr.config import JobConf
 from repro.mr.merge import group_by_key, merge_sorted
 from repro.mr.segment import Segment, build_segment_bytes, iter_segment_bytes
 from repro.mr.storage import LocalStore
+from repro.obs.trace import current_tracer
 
 #: Minimum number of spills before the Combiner also runs at the final
 #: merge (matches Hadoop's min.num.spills.for.combine default).
@@ -215,12 +216,22 @@ class MapOutputBuffer:
         spill_index = len(self._spills)
         counters.add(C.MAP_SPILLS)
         counters.add(C.MAP_SPILLED_RECORDS, len(self._records))
-        segments: dict[int, Segment] = {}
-        for partition, records in self._sorted_by_partition(self._records):
-            if self._combine_runner is not None:
-                records = self._apply_combiner(partition, records)
-            name = f"{self._task_id}/spill{spill_index}/p{partition}"
-            segments[partition] = self._write_segment(name, partition, records)
+        with current_tracer().span(
+            "map.spill",
+            category="map",
+            spill=spill_index,
+            records=len(self._records),
+        ):
+            segments: dict[int, Segment] = {}
+            for partition, records in self._sorted_by_partition(
+                self._records
+            ):
+                if self._combine_runner is not None:
+                    records = self._apply_combiner(partition, records)
+                name = f"{self._task_id}/spill{spill_index}/p{partition}"
+                segments[partition] = self._write_segment(
+                    name, partition, records
+                )
         self._spills.append(segments)
         self._records = []
         self._buffered_bytes = 0
@@ -246,6 +257,22 @@ class MapOutputBuffer:
         apply_combine: bool,
     ) -> Segment:
         """Merge sorted runs of one partition into the final segment."""
+        with current_tracer().span(
+            "map.merge",
+            category="map",
+            partition=partition,
+            runs=len(segments),
+        ):
+            return self._merge_partition_inner(
+                partition, segments, apply_combine
+            )
+
+    def _merge_partition_inner(
+        self,
+        partition: int,
+        segments: list[Segment],
+        apply_combine: bool,
+    ) -> Segment:
         job = self._job
         counters = self._context.counters
         intermediate = 0

@@ -61,6 +61,7 @@ ANTI_LAZY_RECORDS = "anti.lazy.records"
 ANTI_PLAIN_RECORDS = "anti.plain.records"
 ANTI_SHARED_SPILLS = "anti.shared.spills"
 ANTI_SHARED_SPILLED_BYTES = "anti.shared.spilled.bytes"
+ANTI_SHARED_SPILLED_RECORDS = "anti.shared.spilled.records"
 ANTI_REDUCE_MAP_REEXECUTIONS = "anti.reduce.map.reexecutions"
 
 

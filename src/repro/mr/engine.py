@@ -26,6 +26,13 @@ from repro.mr.executor import (
 )
 from repro.mr.runtime_model import ClusterModel, RuntimeEstimate, TaskCost
 from repro.mr.scheduler import FaultPolicy, JobScheduler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    current_trace_collector,
+)
 
 Record = tuple[Any, Any]
 
@@ -43,6 +50,13 @@ class JobResult:
     #: Structured per-attempt scheduling events (starts, finishes,
     #: failures) with measured wall-clock offsets.
     events: EventLog = field(default_factory=EventLog)
+    #: Phase spans on the job timeline (empty unless the job was traced).
+    spans: list[SpanRecord] = field(default_factory=list)
+    #: The job's metrics registry; its counter families are the source
+    #: the ``counters`` totals above were derived from, plus latency /
+    #: byte histograms and attempt counts.  ``metrics.prometheus_text()``
+    #: is the scrape-style dump.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def output(self) -> list[Record]:
@@ -139,10 +153,12 @@ class LocalJobRunner:
         executor: Executor | str | None = None,
         fault_policy: FaultPolicy | None = None,
         max_attempts: int | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self._executor = executor
         self._fault_policy = fault_policy
         self._max_attempts = max_attempts
+        self._tracer = tracer
 
     def _resolve_executor(self, job: JobConf) -> tuple[Executor, bool]:
         """The executor for ``job`` and whether this run owns it."""
@@ -163,13 +179,27 @@ class LocalJobRunner:
     ) -> JobResult:
         """Run ``job`` over ``splits`` (one map task per split)."""
         executor, owned = self._resolve_executor(job)
+        # Tracer resolution: an explicit tracer wins; otherwise a
+        # process-wide trace collector (the CLI's ``--trace``) turns
+        # tracing on for every job run while installed; otherwise the
+        # no-op tracer keeps the run zero-overhead.
+        collector = current_trace_collector()
+        tracer = self._tracer
+        if tracer is None:
+            tracer = Tracer() if collector is not None else None
         scheduler = JobScheduler(
             executor,
             fault_policy=self._fault_policy,
             max_attempts=self._max_attempts,
+            tracer=tracer,
         )
         try:
-            return scheduler.execute(job, splits)
+            result = scheduler.execute(job, splits)
         finally:
             if owned:
                 executor.close()
+        if collector is not None:
+            collector.add_job(
+                job.name, result.spans, result.events.as_dicts()
+            )
+        return result

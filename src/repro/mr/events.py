@@ -103,6 +103,27 @@ class EventLog:
                     durations[event.task_id] = event.t_seconds - begin
         return durations
 
+    def attempt_wall_durations(self, kind: str) -> list[float]:
+        """Measured wall seconds of *every* attempt, failed ones too.
+
+        Each attempt's duration is its START→FINISH/FAIL interval; the
+        list is in attempt-completion order.  Unlike
+        :meth:`wall_durations` this includes failed attempts — the slot
+        time retries wasted — so runtime estimates can charge them.
+        """
+        starts: dict[tuple[str, int], float] = {}
+        durations: list[float] = []
+        for event in self._events:
+            if event.kind != kind:
+                continue
+            if event.event == START:
+                starts[(event.task_id, event.attempt)] = event.t_seconds
+            elif event.event in (FINISH, FAIL):
+                begin = starts.pop((event.task_id, event.attempt), None)
+                if begin is not None:
+                    durations.append(event.t_seconds - begin)
+        return durations
+
     def shuffle_bytes_by_task(self) -> dict[str, int]:
         """Shuffle bytes fetched per reduce task (from FINISH events)."""
         return {

@@ -10,7 +10,7 @@ counters and never double-counted inside the user-function measurement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.mr import counters as C
@@ -21,6 +21,7 @@ from repro.mr.config import JobConf
 from repro.mr.counters import Counters
 from repro.mr.segment import SegmentPayload, export_segment
 from repro.mr.storage import LocalStore
+from repro.obs.trace import SpanRecord, current_tracer
 
 
 @dataclass
@@ -38,6 +39,9 @@ class MapTaskResult:
     segments: dict[int, SegmentPayload]
     #: Task-local counters (the engine folds them into the job totals).
     counters: Counters
+    #: Phase spans recorded while the task ran (empty unless traced);
+    #: ship back picklable across executors like the segment payloads.
+    spans: list[SpanRecord] = field(default_factory=list)
 
     @property
     def cpu_seconds(self) -> float:
@@ -64,9 +68,17 @@ class MapTask:
         self._job = job
         self.task_id = task_id
 
-    def run(self, split: Iterable[tuple[Any, Any]]) -> MapTaskResult:
+    def run(
+        self,
+        split: Iterable[tuple[Any, Any]],
+        counters: Counters | None = None,
+    ) -> MapTaskResult:
+        """Run the task.  ``counters`` may be supplied by the caller so
+        partially-accumulated work is observable even when the task
+        raises (failed-attempt CPU attribution)."""
         job = self._job
-        counters = Counters()
+        tracer = current_tracer()
+        counters = counters if counters is not None else Counters()
         store = LocalStore(counters, node=self.task_id)
         pending: list[tuple[Any, Any]] = []
         context = Context(
@@ -85,23 +97,38 @@ class MapTask:
             pending.clear()
 
         mapper = job.make_mapper()
-        _, cost = job.cost_meter.measure(mapper.setup, context)
-        counters.add(C.CPU_MAP_SECONDS, cost)
-        flush_pending()
-        for key, value in split:
-            counters.add(C.MAP_INPUT_RECORDS)
-            input_size = serde.record_size(key, value)
-            counters.add(C.MAP_INPUT_BYTES, input_size)
-            # Reading the split from the distributed file system.
-            counters.add(C.HDFS_READ_BYTES, input_size)
-            _, cost = job.cost_meter.measure(mapper.map, key, value, context)
+        with tracer.span("map.phase.setup", category="map"):
+            _, cost = job.cost_meter.measure(mapper.setup, context)
             counters.add(C.CPU_MAP_SECONDS, cost)
             flush_pending()
-        _, cost = job.cost_meter.measure(mapper.cleanup, context)
-        counters.add(C.CPU_MAP_SECONDS, cost)
-        flush_pending()
+        with tracer.span("map.phase.map", category="map") as map_span:
+            records = 0
+            for key, value in split:
+                records += 1
+                counters.add(C.MAP_INPUT_RECORDS)
+                input_size = serde.record_size(key, value)
+                counters.add(C.MAP_INPUT_BYTES, input_size)
+                # Reading the split from the distributed file system.
+                counters.add(C.HDFS_READ_BYTES, input_size)
+                _, cost = job.cost_meter.measure(
+                    mapper.map, key, value, context
+                )
+                counters.add(C.CPU_MAP_SECONDS, cost)
+                flush_pending()
+            map_span.set(input_records=records)
+        with tracer.span("map.phase.cleanup", category="map"):
+            _, cost = job.cost_meter.measure(mapper.cleanup, context)
+            counters.add(C.CPU_MAP_SECONDS, cost)
+            flush_pending()
 
-        segments = buffer.finalize()
+        with tracer.span("map.phase.merge", category="map") as merge_span:
+            segments = buffer.finalize()
+            merge_span.set(
+                spills=buffer.spill_count,
+                output_bytes=sum(
+                    seg.size_bytes for seg in segments.values()
+                ),
+            )
         # Detach the final segments from the task's store: the store
         # (and its spill files) dies with the task, only the payloads
         # and counters survive — and both pickle.

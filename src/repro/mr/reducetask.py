@@ -26,6 +26,7 @@ from repro.mr.segment import (
     write_segment,
 )
 from repro.mr.storage import LocalStore
+from repro.obs.trace import SpanRecord, current_tracer
 
 
 @dataclass
@@ -46,6 +47,8 @@ class ReduceTaskResult:
     #: out of this task's own counters and folded into the job totals
     #: separately by the engine.
     serve_counters: Counters = field(default_factory=Counters)
+    #: Phase spans recorded while the task ran (empty unless traced).
+    spans: list[SpanRecord] = field(default_factory=list)
 
     @property
     def cpu_seconds(self) -> float:
@@ -64,9 +67,16 @@ class ReduceTask:
         self.partition = partition
         self.task_id = f"reduce{partition}"
 
-    def run(self, map_segments: Sequence[SegmentPayload]) -> ReduceTaskResult:
+    def run(
+        self,
+        map_segments: Sequence[SegmentPayload],
+        counters: Counters | None = None,
+    ) -> ReduceTaskResult:
+        """Run the task; ``counters`` may be caller-supplied so partial
+        work stays observable when the task raises."""
         job = self._job
-        counters = Counters()
+        tracer = current_tracer()
+        counters = counters if counters is not None else Counters()
         store = LocalStore(counters, node=self.task_id)
         # Map-output payloads are adopted into a serve store whose reads
         # charge ``serve_counters`` — the map-side disk reads of the
@@ -96,22 +106,41 @@ class ReduceTask:
             store=store,
         )
 
-        segments = self._fetch(segments, counters, store)
+        with tracer.span(
+            "reduce.phase.fetch", category="reduce"
+        ) as fetch_span:
+            segments = self._fetch(segments, counters, store)
+            fetch_span.set(
+                segments=len(segments),
+                shuffle_bytes=counters.get_int(C.SHUFFLE_TRANSFER_BYTES),
+            )
         stream = self._merged_stream(segments, counters, store)
 
         reducer = job.make_reducer()
         _, cost = job.cost_meter.measure(reducer.setup, context)
         counters.add(C.CPU_REDUCE_SECONDS, cost)
-        grouping = job.effective_grouping_comparator
-        for key, values in group_by_key(stream, grouping):
-            counters.add(C.REDUCE_INPUT_GROUPS)
-            counters.add(C.REDUCE_INPUT_RECORDS, len(values))
-            _, cost = job.cost_meter.measure(
-                reducer.reduce, key, iter(values), context
-            )
+        # The merge is lazy, so the reduce phase span also covers the
+        # streamed merge/decode work interleaved with the Reduce calls
+        # (exactly what Hadoop's reduce-phase timer reports).
+        with tracer.span(
+            "reduce.phase.reduce", category="reduce"
+        ) as reduce_span:
+            groups = 0
+            grouping = job.effective_grouping_comparator
+            for key, values in group_by_key(stream, grouping):
+                groups += 1
+                counters.add(C.REDUCE_INPUT_GROUPS)
+                counters.add(C.REDUCE_INPUT_RECORDS, len(values))
+                _, cost = job.cost_meter.measure(
+                    reducer.reduce, key, iter(values), context
+                )
+                counters.add(C.CPU_REDUCE_SECONDS, cost)
+            reduce_span.set(groups=groups)
+        # Cleanup gets its own span: the AntiReducer drains the whole
+        # remaining Shared structure here (paper Fig. 8's final drain).
+        with tracer.span("reduce.phase.cleanup", category="reduce"):
+            _, cost = job.cost_meter.measure(reducer.cleanup, context)
             counters.add(C.CPU_REDUCE_SECONDS, cost)
-        _, cost = job.cost_meter.measure(reducer.cleanup, context)
-        counters.add(C.CPU_REDUCE_SECONDS, cost)
 
         return ReduceTaskResult(
             task_id=self.task_id,
@@ -188,24 +217,33 @@ class ReduceTask:
         codec = get_codec(job.map_output_codec)
         intermediate = 0
         segments = list(segments)
+        tracer = current_tracer()
         # Multi-pass merge mirroring Hadoop's io.sort.factor behaviour.
         while len(segments) > job.merge_factor:
             batch = segments[: job.merge_factor]
             segments = segments[job.merge_factor :]
-            merged = merge_sorted(
-                [self._scan_metered(seg, counters) for seg in batch],
-                job.comparator,
-            )
-            total_records = sum(seg.record_count for seg in batch)
-            counters.add(
-                C.CPU_FRAMEWORK_SECONDS,
-                job.framework_cost_model.merge_cost(total_records, len(batch)),
-            )
-            name = f"{self.task_id}/merge{intermediate}"
-            intermediate += 1
-            segments.append(
-                write_segment(store, name, self.partition, merged, codec)
-            )
+            with tracer.span(
+                "reduce.merge.pass",
+                category="reduce",
+                pass_index=intermediate,
+                runs=len(batch),
+            ):
+                merged = merge_sorted(
+                    [self._scan_metered(seg, counters) for seg in batch],
+                    job.comparator,
+                )
+                total_records = sum(seg.record_count for seg in batch)
+                counters.add(
+                    C.CPU_FRAMEWORK_SECONDS,
+                    job.framework_cost_model.merge_cost(
+                        total_records, len(batch)
+                    ),
+                )
+                name = f"{self.task_id}/merge{intermediate}"
+                intermediate += 1
+                segments.append(
+                    write_segment(store, name, self.partition, merged, codec)
+                )
         total_records = sum(seg.record_count for seg in segments)
         counters.add(
             C.CPU_FRAMEWORK_SECONDS,

@@ -139,22 +139,20 @@ class ClusterModel:
 
         ``events`` is the :class:`~repro.mr.events.EventLog` of a
         finished job.  Instead of the analytic per-task cost model,
-        the real wall-clock duration of each successful task attempt
-        is FIFO-scheduled over the cluster's slots, and the shuffle is
-        sized from the per-reducer transfer bytes the reduce attempts
-        reported.  CPU scaling does not apply: measured durations
-        already include everything the attempt did.
+        the real wall-clock duration of each task attempt — *including
+        failed attempts*, whose slot time a real cluster pays for
+        before the retry runs — is FIFO-scheduled over the cluster's
+        slots, and the shuffle is sized from the per-reducer transfer
+        bytes the reduce attempts reported.  CPU scaling does not
+        apply: measured durations already include everything the
+        attempt did.
         """
-        map_durations = events.wall_durations("map")
-        reduce_durations = events.wall_durations("reduce")
         shuffle_bytes = events.shuffle_bytes_by_task()
         map_seconds = schedule_waves(
-            (map_durations[task] for task in sorted(map_durations)),
-            self.map_slots,
+            events.attempt_wall_durations("map"), self.map_slots
         )
         reduce_seconds = schedule_waves(
-            (reduce_durations[task] for task in sorted(reduce_durations)),
-            self.reduce_slots,
+            events.attempt_wall_durations("reduce"), self.reduce_slots
         )
         total_transfer = float(sum(shuffle_bytes.values()))
         max_per_reducer = float(max(shuffle_bytes.values(), default=0))

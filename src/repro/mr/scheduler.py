@@ -31,12 +31,52 @@ from repro.mr.maptask import MapTask, MapTaskResult
 from repro.mr.reducetask import ReduceTask, ReduceTaskResult
 from repro.mr.runtime_model import TaskCost
 from repro.mr.segment import SegmentPayload
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    activated,
+)
 
 Record = tuple[Any, Any]
 
 
 class InjectedTaskFailure(RuntimeError):
     """A task attempt killed by the fault policy (simulated crash)."""
+
+
+class TaskAttemptFailure(RuntimeError):
+    """Internal envelope for a failed attempt's measurements.
+
+    Wraps the attempt's real exception together with the CPU seconds
+    the attempt burned before dying and any phase spans it recorded —
+    so retries show their wasted work in the event log and the trace.
+    Constructed with exactly its ``args`` so it pickles across the
+    process executor's boundary; the scheduler unwraps it and never
+    lets it escape to callers.
+    """
+
+    def __init__(
+        self,
+        cause: BaseException,
+        cpu_seconds: float = 0.0,
+        spans: list[SpanRecord] | None = None,
+    ):
+        super().__init__(cause, cpu_seconds, spans)
+        self.cause = cause
+        self.cpu_seconds = cpu_seconds
+        self.spans = spans if spans is not None else []
+
+
+def _unwrap_failure(
+    exc: BaseException,
+) -> tuple[BaseException, float, list[SpanRecord]]:
+    """The real exception, wasted CPU seconds and spans of a failure."""
+    if isinstance(exc, TaskAttemptFailure):
+        return exc.cause, exc.cpu_seconds, exc.spans
+    return exc, 0.0, []
 
 
 class TaskFailedError(RuntimeError):
@@ -89,14 +129,35 @@ class ScriptedFaults(FaultPolicy):
 
 
 # -- task attempt bodies (module-level: they must pickle) ------------------
+#
+# When tracing is requested the body activates a task-local tracer (in
+# the worker process, when attempts run on a pool) so the task phases
+# and the Shared structure can record spans; the finished spans travel
+# back attached to the picklable result — like the segment payloads —
+# and the scheduler re-bases them onto the job timeline.  On failure
+# the partial counters and spans ride back inside TaskAttemptFailure.
 
 
 def _run_map_attempt(
-    job: JobConf, task_id: str, split: list[Record], inject_fault: bool
+    job: JobConf,
+    task_id: str,
+    split: list[Record],
+    inject_fault: bool,
+    trace: bool = False,
 ) -> MapTaskResult:
     if inject_fault:
         raise InjectedTaskFailure(f"injected fault: {task_id}")
-    return MapTask(job, task_id).run(split)
+    counters = Counters()
+    tracer = Tracer() if trace else NULL_TRACER
+    try:
+        with activated(tracer):
+            result = MapTask(job, task_id).run(split, counters=counters)
+    except Exception as exc:
+        raise TaskAttemptFailure(
+            exc, counters.total_cpu_seconds(), tracer.records()
+        ) from exc
+    result.spans = tracer.records()
+    return result
 
 
 def _run_reduce_attempt(
@@ -104,10 +165,23 @@ def _run_reduce_attempt(
     partition: int,
     payloads: list[SegmentPayload],
     inject_fault: bool,
+    trace: bool = False,
 ) -> ReduceTaskResult:
     if inject_fault:
         raise InjectedTaskFailure(f"injected fault: reduce{partition}")
-    return ReduceTask(job, partition).run(payloads)
+    counters = Counters()
+    tracer = Tracer() if trace else NULL_TRACER
+    try:
+        with activated(tracer):
+            result = ReduceTask(job, partition).run(
+                payloads, counters=counters
+            )
+    except Exception as exc:
+        raise TaskAttemptFailure(
+            exc, counters.total_cpu_seconds(), tracer.records()
+        ) from exc
+    result.spans = tracer.records()
+    return result
 
 
 class JobScheduler:
@@ -118,10 +192,12 @@ class JobScheduler:
         executor: Executor | None = None,
         fault_policy: FaultPolicy | None = None,
         max_attempts: int | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self._executor = executor if executor is not None else SerialExecutor()
         self._policy = fault_policy if fault_policy is not None else NoFaults()
         self._max_attempts = max_attempts
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- wave execution ----------------------------------------------------
     def _run_wave(
@@ -140,23 +216,34 @@ class JobScheduler:
         in subsequent rounds (attempt numbers are per task).  Results
         are returned in task order, independent of completion order.
         """
+        tracer = self._tracer
         results: list[Any] = [None] * len(task_ids)
         attempt = {index: 1 for index in range(len(task_ids))}
         pending = list(range(len(task_ids)))
+        wave_index = 0
         while pending:
+            wave_span = tracer.span(
+                f"wave.{kind}",
+                category="scheduler",
+                wave=wave_index,
+                tasks=len(pending),
+            )
+            wave_span.__enter__()
             submitted = []
+            started_at: dict[int, float] = {}
             for index in pending:
                 task_id = task_ids[index]
                 inject = self._policy.should_fail(
                     kind, task_id, attempt[index]
                 )
+                started_at[index] = clock()
                 events.append(
                     TaskEvent(
                         task_id=task_id,
                         kind=kind,
                         event=E.START,
                         attempt=attempt[index],
-                        t_seconds=clock(),
+                        t_seconds=started_at[index],
                     )
                 )
                 submitted.append(
@@ -167,7 +254,8 @@ class JobScheduler:
                 task_id = task_ids[index]
                 try:
                     result = future.result()
-                except Exception as exc:
+                except Exception as raised:
+                    exc, wasted_cpu, spans = _unwrap_failure(raised)
                     events.append(
                         TaskEvent(
                             task_id=task_id,
@@ -175,15 +263,28 @@ class JobScheduler:
                             event=E.FAIL,
                             attempt=attempt[index],
                             t_seconds=clock(),
+                            cpu_seconds=wasted_cpu,
                             error=f"{type(exc).__name__}: {exc}",
                         )
                     )
+                    # Failed-attempt spans stay in the trace, re-based
+                    # to the attempt's start and marked as wasted work.
+                    tracer.extend(
+                        spans,
+                        offset=started_at[index],
+                        task=task_id,
+                        attempt=attempt[index],
+                        failed=True,
+                    )
                     if attempt[index] >= max_attempts:
+                        wave_span.__exit__(None, None, None)
                         if max_attempts == 1:
                             # Fail-fast configuration: propagate the
                             # task's exception unchanged (the
                             # historical runner's behaviour).
-                            raise
+                            if exc is raised:
+                                raise
+                            raise exc from raised
                         raise TaskFailedError(
                             task_id, attempt[index], exc
                         ) from exc
@@ -206,6 +307,14 @@ class JobScheduler:
                             ),
                         )
                     )
+                    tracer.extend(
+                        result.spans,
+                        offset=started_at[index],
+                        task=task_id,
+                        attempt=attempt[index],
+                    )
+            wave_span.__exit__(None, None, None)
+            wave_index += 1
             pending = failed
         return results
 
@@ -240,6 +349,12 @@ class JobScheduler:
         def clock() -> float:
             return time.monotonic() - start
 
+        tracer = self._tracer
+        # Scheduler-side spans and re-based task spans share the event
+        # log's clock: seconds since job start, one timeline.
+        tracer.sync(clock)
+        trace = tracer.enabled
+
         # Map wave.
         map_ids = [f"map{index}" for index in range(len(split_lists))]
         map_results: list[MapTaskResult] = self._run_wave(
@@ -251,6 +366,7 @@ class JobScheduler:
                 map_ids[index],
                 split_lists[index],
                 inject,
+                trace,
             ),
             max_attempts,
             events,
@@ -269,14 +385,15 @@ class JobScheduler:
         ]
 
         # Shuffle plan: segments for each partition, in map-task order.
-        shuffle_plan: list[list[SegmentPayload]] = [
-            [
-                result.segments[partition]
-                for result in map_results
-                if partition in result.segments
+        with tracer.span("shuffle.plan", category="scheduler"):
+            shuffle_plan: list[list[SegmentPayload]] = [
+                [
+                    result.segments[partition]
+                    for result in map_results
+                    if partition in result.segments
+                ]
+                for partition in range(job.num_reducers)
             ]
-            for partition in range(job.num_reducers)
-        ]
 
         # Reduce wave.
         reduce_ids = [
@@ -286,7 +403,13 @@ class JobScheduler:
             E.REDUCE,
             reduce_ids,
             _run_reduce_attempt,
-            lambda index, inject: (job, index, shuffle_plan[index], inject),
+            lambda index, inject: (
+                job,
+                index,
+                shuffle_plan[index],
+                inject,
+                trace,
+            ),
             max_attempts,
             events,
             clock,
@@ -307,17 +430,22 @@ class JobScheduler:
         ]
 
         # Fold counters in task order: map tasks, then reduce tasks,
-        # then the shuffle's map-side serve reads.  The serve-read
-        # charges are integer byte counts, so folding them after the
-        # task counters is exact (and keeps totals byte-identical to
-        # the historical single-pass runner).
-        totals = Counters()
+        # then the shuffle's map-side serve reads.  The fold goes
+        # *through* the metrics registry and the job totals are read
+        # back out of it (`job_counters`), so the Prometheus dump and
+        # the Counters surface are one ledger and can never disagree.
+        # The registry performs the same per-name float additions in
+        # the same order as the historical Counters.merge fold, so
+        # totals stay byte-identical to the single-pass runner.
+        metrics = MetricsRegistry()
         for result in map_results:
-            totals.merge(result.counters)
+            metrics.merge_counters(result.counters)
         for result in reduce_results:
-            totals.merge(result.counters)
+            metrics.merge_counters(result.counters)
         for result in reduce_results:
-            totals.merge(result.serve_counters)
+            metrics.merge_counters(result.serve_counters)
+        totals = metrics.job_counters()
+        self._record_wave_metrics(metrics, events, job)
 
         return JobResult(
             job_name=job.name,
@@ -331,4 +459,52 @@ class JobScheduler:
                 r.shuffle_bytes for r in reduce_results
             ],
             events=events,
+            spans=tracer.records(),
+            metrics=metrics,
         )
+
+    @staticmethod
+    def _record_wave_metrics(
+        metrics: MetricsRegistry, events: EventLog, job: JobConf
+    ) -> None:
+        """Observational metrics counters cannot express (latencies,
+        attempt counts, per-phase byte distributions)."""
+        metrics.gauge(
+            "mr.job.reducers", "Configured reduce tasks"
+        ).set(job.num_reducers)
+        for kind in (E.MAP, E.REDUCE):
+            latency = metrics.histogram(
+                f"mr.{kind}.task.wall.seconds",
+                f"Wall seconds per successful {kind} attempt",
+            )
+            for duration in events.wall_durations(kind).values():
+                latency.observe(duration)
+            cpu = metrics.histogram(
+                f"mr.{kind}.task.cpu.seconds",
+                f"CPU seconds per successful {kind} attempt",
+            )
+            attempts = metrics.counter(
+                f"mr.{kind}.attempts", f"{kind} attempts started"
+            )
+            failures = metrics.counter(
+                f"mr.{kind}.attempts.failed", f"{kind} attempts failed"
+            )
+            output_bytes = metrics.histogram(
+                f"mr.{kind}.output.bytes",
+                "Map output bytes / reduce shuffle bytes per task",
+                buckets=tuple(4.0**n for n in range(2, 16)),
+            )
+            for event in events:
+                if event.kind != kind:
+                    continue
+                if event.event == E.START:
+                    attempts.add()
+                elif event.event == E.FAIL:
+                    failures.add()
+                    metrics.counter(
+                        "mr.wasted.cpu.seconds",
+                        "CPU burned by failed attempts",
+                    ).add(event.cpu_seconds)
+                elif event.event == E.FINISH:
+                    cpu.observe(event.cpu_seconds)
+                    output_bytes.observe(event.output_bytes)

@@ -1,0 +1,58 @@
+"""Observability layer: tracing spans, metrics, and trace export.
+
+``repro.obs`` gives the engine eyes: where the paper reports *totals*
+(Table 2's disk/CPU breakdown), this package records *where and when*
+those bytes and CPU seconds happened.
+
+* :mod:`repro.obs.trace` — a lightweight span tracer threaded through
+  the scheduler, both executors, the map/reduce task phases, and the
+  ``Shared`` structure.  Zero-cost when disabled: every call site holds
+  a :data:`~repro.obs.trace.NULL_TRACER` whose spans are no-ops.
+* :mod:`repro.obs.metrics` — a ``MetricsRegistry`` of counters, gauges
+  and histograms with a Prometheus-text-format dump.  The engine
+  re-derives the job's :class:`~repro.mr.counters.Counters` totals from
+  the registry, so the two surfaces can never disagree.
+* :mod:`repro.obs.export` — Chrome-trace-format JSON (loadable in
+  Perfetto / ``chrome://tracing``) and a flat JSONL consumed by the
+  ``repro trace`` CLI subcommand.
+"""
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    JobTrace,
+    NullTracer,
+    SpanRecord,
+    TraceCollector,
+    Tracer,
+    activated,
+    clear_trace_collector,
+    current_trace_collector,
+    current_tracer,
+    set_trace_collector,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import (
+    chrome_trace,
+    load_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "JobTrace",
+    "MetricsRegistry",
+    "NullTracer",
+    "SpanRecord",
+    "TraceCollector",
+    "Tracer",
+    "activated",
+    "chrome_trace",
+    "clear_trace_collector",
+    "current_trace_collector",
+    "current_tracer",
+    "load_jsonl",
+    "set_trace_collector",
+    "write_chrome_trace",
+    "write_jsonl",
+]

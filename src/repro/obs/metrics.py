@@ -1,0 +1,275 @@
+"""A metrics registry: counters, gauges, histograms, Prometheus dump.
+
+The registry is the *authoritative* accumulation point of one job run:
+the scheduler folds every task attempt's counter bag through
+:meth:`MetricsRegistry.merge_counters` and then re-derives the job's
+:class:`~repro.mr.counters.Counters` totals from the registry via
+:meth:`MetricsRegistry.job_counters`.  Because the totals are read back
+out of the very same accumulators (same values, same fold order, plain
+float addition), the Prometheus dump and the job counters can never
+disagree — a single source of truth instead of two ledgers.
+
+On top of the counter families the scheduler records observational
+metrics that counters cannot express: per-task latency and CPU
+histograms, shuffle-bytes-per-reducer, attempt/retry counts.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.mr.counters import Counters
+
+#: Default histogram buckets: geometric, wide enough for both seconds
+#: (task latencies) and byte counts when scaled observations are used.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+)
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """A Prometheus-legal metric name for a dotted counter name."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+class Counter:
+    """A monotonically accumulated value."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def add(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(
+            tuple(buckets)
+        ):
+            raise ValueError("histogram buckets must be sorted and unique")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts per ``le`` bucket, cumulative (Prometheus shape)."""
+        totals: list[int] = []
+        running = 0
+        for count in self.bucket_counts:
+            running += count
+            totals.append(running)
+        return totals
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one job (or process)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        #: Counter names that belong to the job-counter ledger (folded
+        #: in via :meth:`merge_counters`), as opposed to observational
+        #: metrics the scheduler records on the side.
+        self._job_counter_names: set[str] = set()
+
+    # -- creation/lookup -------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._counters[name] = Counter(name, help)
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._gauges[name] = Gauge(name, help)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._histograms[name] = Histogram(name, help, buckets)
+        return metric
+
+    def _check_fresh(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(
+                f"metric {name!r} already registered with another type"
+            )
+
+    # -- job-counter integration -----------------------------------------
+    def merge_counters(self, counters: Counters) -> None:
+        """Fold one task's counter bag into the registry's counters.
+
+        Iterates the bag in its native insertion order and performs the
+        same ``+=`` per name as :meth:`Counters.merge`, so folding N
+        bags through the registry produces *bit-identical* float totals
+        to merging them into a ``Counters`` object directly.
+        """
+        for name, value in counters.as_dict().items():
+            self._job_counter_names.add(name)
+            self.counter(name).add(value)
+
+    def job_counters(self) -> Counters:
+        """The job's counter totals, re-derived from the registry.
+
+        Only counters folded in through :meth:`merge_counters` qualify;
+        observational metrics stay out of the job's counter bag.
+        """
+        totals = Counters()
+        for name, metric in self._counters.items():
+            if name in self._job_counter_names:
+                totals.add(name, metric.value)
+        return totals
+
+    # -- snapshots -------------------------------------------------------
+    def counter_values(self) -> dict[str, float]:
+        return {name: m.value for name, m in self._counters.items()}
+
+    def gauge_values(self) -> dict[str, float]:
+        return {name: m.value for name, m in self._gauges.items()}
+
+    def histogram_snapshots(self) -> dict[str, dict[str, Any]]:
+        return {
+            name: {
+                "buckets": list(m.buckets),
+                "counts": list(m.bucket_counts),
+                "sum": m.sum,
+                "count": m.count,
+            }
+            for name, m in self._histograms.items()
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict snapshot of every metric (for JSON dumps)."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "histograms": self.histogram_snapshots(),
+        }
+
+    # -- Prometheus text exposition --------------------------------------
+    def prometheus_text(self) -> str:
+        """Render every metric in the Prometheus text format (0.0.4)."""
+        lines: list[str] = []
+
+        def emit_header(name: str, help_text: str, kind: str) -> None:
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for raw_name in sorted(self._counters):
+            metric = self._counters[raw_name]
+            name = prometheus_name(raw_name)
+            emit_header(name, metric.help, "counter")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        for raw_name in sorted(self._gauges):
+            metric = self._gauges[raw_name]
+            name = prometheus_name(raw_name)
+            emit_header(name, metric.help, "gauge")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        for raw_name in sorted(self._histograms):
+            metric = self._histograms[raw_name]
+            name = prometheus_name(raw_name)
+            emit_header(name, metric.help, "histogram")
+            cumulative = metric.cumulative_counts()
+            for boundary, count in zip(metric.buckets, cumulative):
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(boundary)}"}} {count}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_fmt(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integral floats without the '.0'."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def parse_prometheus_counters(text: str) -> dict[str, float]:
+    """Parse plain counter/gauge samples back out of a text dump.
+
+    Helper for tests that assert the dump agrees with the job counters;
+    histogram series (``_bucket``/``_sum``/``_count``) are skipped.
+    """
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#") or "{" in line:
+            continue
+        name, _, raw = line.partition(" ")
+        if name.endswith(("_sum", "_count")):
+            continue
+        values[name] = float(raw)
+    return values

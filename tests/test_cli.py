@@ -7,7 +7,7 @@ import pytest
 from repro.cli import (
     EXPERIMENTS,
     _convert,
-    _extract_jobs_flag,
+    _extract_runner_flags,
     _parse_overrides,
     _tunable_params,
     main,
@@ -51,9 +51,23 @@ class TestParamParsing:
         )
         assert overrides == {"num_queries": 100, "seed": 7}
 
+    def test_parse_overrides_equals_form(self) -> None:
+        overrides = _parse_overrides(
+            ["--num-queries=100", "--seed", "7"], run_fig9
+        )
+        assert overrides == {"num_queries": 100, "seed": 7}
+
     def test_unknown_param(self) -> None:
         with pytest.raises(ValueError, match="unknown parameter"):
             _parse_overrides(["--bogus", "1"], run_fig9)
+
+    def test_unknown_param_lists_tunables(self) -> None:
+        with pytest.raises(ValueError, match="--num-queries"):
+            _parse_overrides(["--bogus=1"], run_fig9)
+
+    def test_bad_value_names_the_flag(self) -> None:
+        with pytest.raises(ValueError, match="--num-queries"):
+            _parse_overrides(["--num-queries", "lots"], run_fig9)
 
     def test_missing_value(self) -> None:
         with pytest.raises(ValueError, match="missing value"):
@@ -65,20 +79,29 @@ class TestParamParsing:
 
 
 class TestJobsFlag:
-    def test_extract_jobs_flag(self) -> None:
-        jobs, rest = _extract_jobs_flag(
+    def test_extract_runner_flags(self) -> None:
+        jobs, trace, rest = _extract_runner_flags(
             ["--num-queries", "100", "-j", "4", "--seed", "7"]
         )
         assert jobs == 4
+        assert trace is None
         assert rest == ["--num-queries", "100", "--seed", "7"]
-        jobs, rest = _extract_jobs_flag(["--jobs", "2"])
-        assert (jobs, rest) == (2, [])
-        jobs, rest = _extract_jobs_flag(["--num-queries", "100"])
-        assert (jobs, rest) == (None, ["--num-queries", "100"])
+        jobs, trace, rest = _extract_runner_flags(["--jobs", "2"])
+        assert (jobs, trace, rest) == (2, None, [])
+        jobs, trace, rest = _extract_runner_flags(["--num-queries", "100"])
+        assert (jobs, trace, rest) == (None, None, ["--num-queries", "100"])
+
+    def test_extract_trace_flag(self) -> None:
+        jobs, trace, rest = _extract_runner_flags(
+            ["--trace", "out.json", "--seed", "7"]
+        )
+        assert (jobs, trace, rest) == (None, "out.json", ["--seed", "7"])
+        jobs, trace, rest = _extract_runner_flags(["--trace=out.json"])
+        assert (jobs, trace, rest) == (None, "out.json", [])
 
     def test_extract_jobs_flag_missing_value(self) -> None:
         with pytest.raises(ValueError, match="missing value"):
-            _extract_jobs_flag(["-j"])
+            _extract_runner_flags(["-j"])
 
     def test_run_with_jobs_installs_override(self, capsys) -> None:
         try:
@@ -133,4 +156,55 @@ class TestCommands:
 
     def test_run_bad_override(self, capsys) -> None:
         assert main(["run", "sec71", "--bogus", "1"]) == 2
-        assert "error" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "tunable parameters" in err
+        assert "--num-lines" in err
+
+    def test_run_all_rejects_overrides(self, capsys) -> None:
+        assert main(["run", "all", "--num-lines", "120"]) == 2
+        assert "do not apply to 'run all'" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_run_with_trace_then_report(self, capsys, tmp_path) -> None:
+        trace_path = tmp_path / "trace.json"
+        status = main(
+            [
+                "run",
+                "sec71",
+                "--trace",
+                str(trace_path),
+                "--num-lines",
+                "120",
+                "--num-reducers",
+                "2",
+                "--num-splits",
+                "2",
+            ]
+        )
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "Section 7.1" in captured.out
+        assert "trace:" in captured.err
+
+        import json
+
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"]
+
+        jsonl_path = tmp_path / "trace.jsonl"
+        assert jsonl_path.exists()
+        assert main(["trace", str(jsonl_path)]) == 0
+        report = capsys.readouterr().out
+        assert "phase" in report
+        assert "map.phase.map" in report
+
+    def test_trace_collector_cleared_after_run(self) -> None:
+        from repro.obs.trace import current_trace_collector
+
+        assert current_trace_collector() is None
+
+    def test_trace_missing_file(self, capsys, tmp_path) -> None:
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace file" in capsys.readouterr().err

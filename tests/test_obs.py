@@ -1,0 +1,556 @@
+"""Tests for the observability layer: tracing, metrics, export.
+
+The load-bearing guarantees pinned here:
+
+* **Zero cost when disabled** — with no tracer active the job's
+  counters are byte-identical to a traced run's counters (the
+  executor-parity contract extends to tracing on/off).
+* **Spans cross the process boundary** — a traced run on the
+  :class:`~repro.mr.executor.ParallelExecutor` yields the same span
+  names as a serial run, re-based onto the job timeline.
+* **One ledger** — the Prometheus dump and ``JobResult.counters`` are
+  derived from the same registry and agree exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import Strategy
+from repro.core.transform import enable_anti_combining
+from repro.datagen import generate_query_log
+from repro.mr import counters as C
+from repro.mr import events as E
+from repro.mr.api import Context, Mapper
+from repro.mr.counters import Counters
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.executor import ParallelExecutor
+from repro.mr.scheduler import ScriptedFaults
+from repro.mr.split import split_records
+from repro.obs.export import chrome_trace, load_jsonl, write_jsonl
+from repro.obs.metrics import (
+    MetricsRegistry,
+    parse_prometheus_counters,
+    prometheus_name,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    JobTrace,
+    NullTracer,
+    SpanRecord,
+    TraceCollector,
+    Tracer,
+    activated,
+    clear_trace_collector,
+    current_trace_collector,
+    current_tracer,
+    set_trace_collector,
+)
+from repro.workloads.query_suggestion import query_suggestion_job
+from repro.workloads.wordcount import wordcount_job
+
+
+def _anti_job(**anti_kwargs):
+    """A small Anti-Combining job that exercises Shared spilling."""
+    queries = generate_query_log(num_queries=150, seed=7)
+    job = query_suggestion_job(
+        k=3, num_reducers=2, cost_meter=FixedCostMeter()
+    )
+    anti = enable_anti_combining(
+        job,
+        strategy=Strategy.EAGER,
+        use_shared_combiner=False,
+        shared_memory_bytes=1024,
+        **anti_kwargs,
+    )
+    return anti, split_records(queries, num_splits=3)
+
+
+def _wordcount():
+    lines = [
+        (i, f"alpha beta gamma {i % 5} delta {i % 3}") for i in range(40)
+    ]
+    job = wordcount_job(num_reducers=2, cost_meter=FixedCostMeter())
+    return job, split_records(lines, num_splits=3)
+
+
+# -- tracer unit tests -----------------------------------------------------
+
+
+class TestTracer:
+    def test_records_spans(self) -> None:
+        ticks = iter(float(n) for n in range(10))
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("outer", category="test", task="map0"):
+            with tracer.span("inner") as span:
+                span.set(records=3)
+        records = tracer.records()
+        assert [r.name for r in records] == ["inner", "outer"]
+        inner, outer = records
+        assert inner.attrs == {"records": 3}
+        assert outer.category == "test"
+        assert outer.duration == pytest.approx(3.0)
+        assert inner.start >= outer.start
+
+    def test_sync_adopts_clock(self) -> None:
+        tracer = Tracer()
+        tracer.sync(lambda: 42.0)
+        assert tracer.now() == 42.0
+
+    def test_shifted_rebases_and_merges_attrs(self) -> None:
+        span = SpanRecord(name="s", start=1.0, duration=2.0, attrs={"a": 1})
+        moved = span.shifted(10.0, task="map1")
+        assert moved.start == 11.0
+        assert moved.duration == 2.0
+        assert moved.attrs == {"a": 1, "task": "map1"}
+        assert span.attrs == {"a": 1}  # original untouched
+
+    def test_extend_rebases(self) -> None:
+        tracer = Tracer()
+        tracer.extend(
+            [SpanRecord(name="s", start=0.5, duration=0.1)],
+            offset=2.0,
+            task="map0",
+        )
+        (record,) = tracer.records()
+        assert record.start == 2.5
+        assert record.attrs["task"] == "map0"
+
+    def test_null_tracer_is_inert(self) -> None:
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", records=1)
+        with span as inner:
+            inner.set(more=2)
+        assert NULL_TRACER.span("other") is span  # one shared instance
+        assert NULL_TRACER.records() == []
+        assert len(NULL_TRACER) == 0
+
+    def test_activation_restores_previous(self) -> None:
+        tracer = Tracer()
+        assert current_tracer() is NULL_TRACER
+        with activated(tracer):
+            assert current_tracer() is tracer
+            nested = Tracer()
+            with activated(nested):
+                assert current_tracer() is nested
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+
+# -- metrics registry ------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.counter("c").add(0.5)
+        registry.gauge("g").set(7)
+        hist = registry.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert registry.counter_values() == {"c": 2.5}
+        assert registry.gauge_values() == {"g": 7}
+        snapshot = registry.histogram_snapshots()["h"]
+        assert snapshot["counts"] == [1, 1]  # 50.0 overflows to +Inf
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == pytest.approx(55.5)
+
+    def test_cross_type_name_collision_rejected(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="another type"):
+            registry.gauge("name")
+
+    def test_bad_buckets_rejected(self) -> None:
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("h", buckets=(2.0, 1.0))
+
+    def test_merge_counters_matches_counters_merge(self) -> None:
+        bags = []
+        for seed in range(3):
+            bag = Counters()
+            bag.add("bytes", 100 * seed + 1)
+            bag.add("cpu.seconds", 0.1 * seed + 0.017)
+            bags.append(bag)
+        direct = Counters()
+        registry = MetricsRegistry()
+        for bag in bags:
+            direct.merge(bag)
+            registry.merge_counters(bag)
+        # Bit-identical float totals: same values, same fold order.
+        assert registry.job_counters().as_dict() == direct.as_dict()
+
+    def test_job_counters_excludes_observational_metrics(self) -> None:
+        registry = MetricsRegistry()
+        bag = Counters()
+        bag.add("real.counter", 1)
+        registry.merge_counters(bag)
+        registry.counter("mr.map.attempts").add(5)
+        assert registry.job_counters().as_dict() == {"real.counter": 1.0}
+
+    def test_prometheus_text_roundtrip(self) -> None:
+        registry = MetricsRegistry()
+        bag = Counters()
+        bag.add("map.output.bytes", 1234)
+        bag.add("cpu.seconds", 0.25)
+        registry.merge_counters(bag)
+        registry.gauge("mr.job.reducers").set(4)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = registry.prometheus_text()
+        assert "# TYPE map_output_bytes counter" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        parsed = parse_prometheus_counters(text)
+        assert parsed["map_output_bytes"] == 1234
+        assert parsed["cpu_seconds"] == 0.25
+        assert parsed["mr_job_reducers"] == 4
+
+    def test_prometheus_name_sanitization(self) -> None:
+        assert prometheus_name("anti.shared.spills") == "anti_shared_spills"
+        assert prometheus_name("9lives") == "_9lives"
+
+
+# -- traced runs across executors ------------------------------------------
+
+
+def _traced_run(job, splits, executor=None):
+    tracer = Tracer()
+    result = LocalJobRunner(executor=executor, tracer=tracer).run(job, splits)
+    return result
+
+
+class TestTracedRuns:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            yield executor
+
+    def _assert_anti_trace(self, result) -> None:
+        names = {span.name for span in result.spans}
+        # Scheduler-level spans.
+        assert "wave.map" in names
+        assert "wave.reduce" in names
+        assert "shuffle.plan" in names
+        # Intra-task phase spans from both task kinds.
+        assert "map.phase.map" in names
+        assert "map.phase.merge" in names
+        assert "reduce.phase.fetch" in names
+        assert "reduce.phase.reduce" in names
+        # Anti-combining internals: decode + Shared spills.
+        assert "shared.decode" in names
+        assert "shared.spill" in names
+        # Every task-side span was re-based and tagged with its task.
+        task_spans = [s for s in result.spans if "task" in s.attrs]
+        assert task_spans
+        assert all(s.start >= 0 for s in result.spans)
+
+    def test_serial_trace_has_all_span_kinds(self) -> None:
+        job, splits = _anti_job()
+        result = _traced_run(job, splits)
+        self._assert_anti_trace(result)
+
+    def test_parallel_trace_matches_serial_span_names(self, pool) -> None:
+        job, splits = _anti_job()
+        serial = _traced_run(job, splits)
+        parallel = _traced_run(job, splits, executor=pool)
+        self._assert_anti_trace(parallel)
+        serial_names = sorted(span.name for span in serial.spans)
+        parallel_names = sorted(span.name for span in parallel.spans)
+        assert parallel_names == serial_names
+
+    def test_tracing_does_not_change_counters(self, pool) -> None:
+        job, splits = _anti_job()
+        plain = LocalJobRunner().run(job, splits)
+        traced = _traced_run(job, splits)
+        assert traced.counters.as_dict() == plain.counters.as_dict()
+        traced_pool = _traced_run(job, splits, executor=pool)
+        assert traced_pool.counters.as_dict() == plain.counters.as_dict()
+
+    def test_untraced_run_records_no_spans(self) -> None:
+        job, splits = _wordcount()
+        result = LocalJobRunner().run(job, splits)
+        assert result.spans == []
+
+    def test_prometheus_dump_agrees_with_counters(self) -> None:
+        job, splits = _anti_job()
+        result = LocalJobRunner().run(job, splits)
+        parsed = parse_prometheus_counters(result.metrics.prometheus_text())
+        for name, value in result.counters.as_dict().items():
+            assert parsed[prometheus_name(name)] == pytest.approx(
+                value
+            ), name
+        # The registry carries observational metrics on top.
+        histograms = result.metrics.histogram_snapshots()
+        assert histograms["mr.map.task.wall.seconds"]["count"] == 3
+        assert histograms["mr.reduce.task.wall.seconds"]["count"] == 2
+
+    def test_failed_attempt_spans_marked_and_cpu_attributed(self) -> None:
+        job, splits = _wordcount()
+        _FLAKY_ATTEMPTS.clear()
+        flaky = job.clone(mapper=FlakyMapper, name="flaky-wordcount")
+        result = LocalJobRunner(max_attempts=2).run(flaky, splits)
+        failures = result.events.failures(E.MAP)
+        assert len(failures) == 1
+        # The failed attempt burned metered CPU before dying, and that
+        # wasted work is recorded on the FAIL event.
+        assert failures[0].cpu_seconds > 0
+        wasted = result.metrics.counter_values()["mr.wasted.cpu.seconds"]
+        assert wasted == pytest.approx(failures[0].cpu_seconds)
+        # A clean run is unaffected.
+        clean = LocalJobRunner().run(job, splits)
+        assert result.counters.as_dict() == clean.counters.as_dict()
+
+    def test_failed_attempt_spans_survive_in_trace(self) -> None:
+        job, splits = _wordcount()
+        _FLAKY_ATTEMPTS.clear()
+        flaky = job.clone(mapper=FlakyMapper, name="flaky-wordcount")
+        tracer = Tracer()
+        LocalJobRunner(max_attempts=2, tracer=tracer).run(flaky, splits)
+        failed = [
+            span
+            for span in tracer.records()
+            if span.attrs.get("failed") is True
+        ]
+        assert failed
+        assert any(span.name == "map.phase.setup" for span in failed)
+
+
+#: Per-task attempt counter for :class:`FlakyMapper` (serial mode only:
+#: the state lives in the scheduling process).
+_FLAKY_ATTEMPTS: dict[str, int] = {}
+
+
+class FlakyMapper(Mapper):
+    """Emits some records, then dies on ``map0``'s first attempt."""
+
+    def map(self, key, line: str, context: Context) -> None:
+        for word in line.split():
+            context.write(word, 1)
+        if context.task_id == "map0":
+            attempt = _FLAKY_ATTEMPTS.get(context.task_id, 1)
+            if attempt == 1:
+                _FLAKY_ATTEMPTS[context.task_id] = 2
+                raise RuntimeError("flaky mapper: first attempt dies")
+
+
+# -- export ----------------------------------------------------------------
+
+
+class TestExport:
+    def _collect(self, executor=None) -> TraceCollector:
+        job, splits = _anti_job()
+        collector = TraceCollector()
+        set_trace_collector(collector)
+        try:
+            LocalJobRunner(executor=executor).run(job, splits)
+        finally:
+            clear_trace_collector()
+        return collector
+
+    def test_collector_install_and_clear(self) -> None:
+        assert current_trace_collector() is None
+        collector = self._collect()
+        assert current_trace_collector() is None
+        assert len(collector) == 1
+        (job_trace,) = list(collector)
+        assert job_trace.spans
+        assert job_trace.events
+
+    def test_chrome_trace_document(self) -> None:
+        collector = self._collect()
+        document = chrome_trace(collector.jobs)
+        # Loadable: serialises to JSON and back.
+        document = json.loads(json.dumps(document))
+        events = document["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        # Scheduler wave slices and nested intra-task spans.
+        assert "wave.map" in names
+        assert "shared.decode" in names
+        assert "shared.spill" in names
+        # Per-attempt slices folded in from the event log.
+        assert "map0 attempt 1" in names
+        # Metadata rows name the process after the job.
+        process_names = [
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "process_name"
+        ]
+        assert process_names == [collector.jobs[0].job_name]
+        # Slices are well-formed complete events.
+        for event in events:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+
+    def test_chrome_trace_parallel_executor(self) -> None:
+        with ParallelExecutor(max_workers=2) as pool:
+            collector = self._collect(executor=pool)
+        names = {
+            event["name"]
+            for event in chrome_trace(collector.jobs)["traceEvents"]
+        }
+        assert "wave.map" in names
+        assert "shared.decode" in names
+        assert "shared.spill" in names
+
+    def test_jsonl_roundtrip(self, tmp_path) -> None:
+        collector = self._collect()
+        path = write_jsonl(tmp_path / "trace.jsonl", collector.jobs)
+        loaded = load_jsonl(path)
+        assert len(loaded) == 1
+        original = collector.jobs[0]
+        restored = loaded[0]
+        assert restored.job_name == original.job_name
+        assert restored.spans == original.spans
+        assert restored.events == original.events
+
+    def test_empty_jobs_export(self) -> None:
+        document = chrome_trace([])
+        assert document["traceEvents"] == []
+
+    def test_failed_attempt_slice_is_labelled(self) -> None:
+        job, splits = _wordcount()
+        tracer = Tracer()
+        runner = LocalJobRunner(
+            max_attempts=2,
+            fault_policy=ScriptedFaults({"map1": 1}),
+            tracer=tracer,
+        )
+        result = runner.run(job, splits)
+        trace = JobTrace(
+            job_name=job.name,
+            spans=tracer.records(),
+            events=result.events.as_dicts(),
+        )
+        names = {
+            event["name"] for event in chrome_trace([trace])["traceEvents"]
+        }
+        assert "map1 attempt 1 [FAILED]" in names
+        assert "map1 attempt 2" in names
+
+
+# -- trace report ----------------------------------------------------------
+
+
+class TestTraceReport:
+    def test_phase_breakdown(self) -> None:
+        from repro.analysis.tracereport import (
+            attempt_rows,
+            phase_rows,
+            render_trace_report,
+        )
+
+        job, splits = _anti_job()
+        tracer = Tracer()
+        result = LocalJobRunner(tracer=tracer).run(job, splits)
+        trace = JobTrace(
+            job_name=job.name,
+            spans=tracer.records(),
+            events=result.events.as_dicts(),
+        )
+        rows = phase_rows(trace)
+        phases = {row["phase"] for row in rows}
+        assert "map.phase.map" in phases
+        assert "shared.decode" in phases
+        shares = [row["share_%"] for row in rows]
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) == pytest.approx(100.0)
+
+        attempts = attempt_rows(trace)
+        by_kind = {row["kind"]: row for row in attempts}
+        assert by_kind["map"]["started"] == 3
+        assert by_kind["reduce"]["started"] == 2
+
+        report = render_trace_report([trace])
+        assert job.name in report
+        assert "map.phase.map" in report
+
+    def test_empty_report(self) -> None:
+        from repro.analysis.tracereport import render_trace_report
+
+        assert "empty trace" in render_trace_report([])
+
+
+# -- satellites ------------------------------------------------------------
+
+
+class TestSharedSpilledRecords:
+    def test_spilled_records_counter(self) -> None:
+        job, splits = _anti_job()
+        result = LocalJobRunner().run(job, splits)
+        spills = result.counters.get_int(C.ANTI_SHARED_SPILLS)
+        records = result.counters.get_int(C.ANTI_SHARED_SPILLED_RECORDS)
+        assert spills > 0
+        # Every spill wrote at least one record.
+        assert records >= spills
+        assert result.counters.get_int(C.ANTI_SHARED_SPILLED_BYTES) > 0
+
+    def test_no_spills_when_memory_ample(self) -> None:
+        queries = generate_query_log(num_queries=150, seed=7)
+        base = query_suggestion_job(
+            k=3, num_reducers=2, cost_meter=FixedCostMeter()
+        )
+        roomy = enable_anti_combining(
+            base, strategy=Strategy.EAGER, shared_memory_bytes=64 * 1024 * 1024
+        )
+        result = LocalJobRunner().run(
+            roomy, split_records(queries, num_splits=3)
+        )
+        assert result.counters.get_int(C.ANTI_SHARED_SPILLED_RECORDS) == 0
+
+
+class TestEventLogUnderParallelExecutor:
+    """EventLog invariants must hold when attempts run on a pool."""
+
+    @pytest.fixture(scope="class")
+    def pool(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            yield executor
+
+    def test_monotonic_and_paired(self, pool) -> None:
+        job, splits = _wordcount()
+        result = LocalJobRunner(executor=pool).run(job, splits)
+        events = list(result.events)
+        assert events
+        times = [event.t_seconds for event in events]
+        assert times == sorted(times)
+        starts = {
+            (e.task_id, e.attempt) for e in events if e.event == E.START
+        }
+        ends = [
+            (e.task_id, e.attempt)
+            for e in events
+            if e.event in (E.FINISH, E.FAIL)
+        ]
+        # Exactly one START per FINISH/FAIL, no unmatched ends.
+        assert len(ends) == len(set(ends))
+        assert set(ends) == starts
+
+    def test_attempt_numbering_matches_scripted_faults(self, pool) -> None:
+        job, splits = _wordcount()
+        faults = ScriptedFaults({"map0": 2, "reduce1": 1})
+        runner = LocalJobRunner(
+            executor=pool, fault_policy=faults, max_attempts=3
+        )
+        result = runner.run(job, splits)
+        assert result.events.attempts("map0") == 3
+        assert result.events.attempts("reduce1") == 2
+        assert faults.injected == [
+            ("map0", 1),
+            ("map0", 2),
+            ("reduce1", 1),
+        ]
+        failed = [
+            (e.task_id, e.attempt) for e in result.events.failures()
+        ]
+        assert failed == faults.injected
+        # Injected kills never ran user code: no CPU was wasted.
+        assert all(e.cpu_seconds == 0.0 for e in result.events.failures())
+        # The retried run still matches a clean serial run.
+        clean = LocalJobRunner().run(job, splits)
+        assert result.counters.as_dict() == clean.counters.as_dict()

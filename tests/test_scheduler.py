@@ -240,9 +240,12 @@ class TestEventLog:
         result = LocalJobRunner().run(job, splits)
         estimate = result.measured_runtime()
         assert estimate.total_seconds >= 0
-        # Retried runs measure the *successful* attempt only and still
-        # produce a schedule for every task.
+        # Retried runs schedule failed attempts too: the wasted slot
+        # time of the killed attempt is part of the measured runtime.
         retried = LocalJobRunner(
             fault_policy=ScriptedFaults({"map0": 1}), max_attempts=2
         ).run(job, splits)
         assert retried.measured_runtime().total_seconds >= 0
+        assert len(retried.events.attempt_wall_durations(E.MAP)) == (
+            len(result.events.attempt_wall_durations(E.MAP)) + 1
+        )
