@@ -1,0 +1,29 @@
+"""Performance benchmark harness for the data-plane hot paths.
+
+``repro bench`` runs the microbenchmark suites defined in
+:mod:`repro.bench.suites` — serde encode/decode, spill+merge, Shared
+decode, executor out-of-band transport, and an end-to-end fig9 run —
+and compares against the committed ``BENCH_hotpaths.json`` baseline at
+the repository root.  See ``benchmarks/perf/`` for the standalone
+runner that (re)generates the committed file.
+"""
+
+from repro.bench.harness import (
+    BenchResult,
+    bench_pair,
+    compare_to_committed,
+    format_table,
+    load_committed,
+    results_to_json,
+)
+from repro.bench.suites import run_suites
+
+__all__ = [
+    "BenchResult",
+    "bench_pair",
+    "compare_to_committed",
+    "format_table",
+    "load_committed",
+    "results_to_json",
+    "run_suites",
+]

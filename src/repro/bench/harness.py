@@ -1,0 +1,150 @@
+"""Timing machinery for the perf microbenchmarks.
+
+Methodology: every benchmark is a *pair* of callables — a reference
+implementation (the pre-optimisation code path, e.g. verbatim
+:mod:`repro.mr.serde_ref`) and the current fast path — run over
+identical deterministically-seeded inputs.  The two legs are timed
+**interleaved** (ref, fast, ref, fast, …) so slow drift in machine
+load hits both legs equally, with one untimed warmup round, and the
+reported number is the median of the repeats.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+#: Default name of the committed baseline file at the repository root.
+BENCH_FILE = "BENCH_hotpaths.json"
+
+#: A run is flagged as a regression when its time exceeds the committed
+#: time by more than this factor (CI perf-smoke gate).
+REGRESSION_FACTOR = 2.0
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's timings, in seconds (median of repeats)."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+    repeats: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_s / self.current_s if self.current_s else 0.0
+
+
+def bench_pair(
+    name: str,
+    baseline_fn: Callable[[], object],
+    current_fn: Callable[[], object],
+    repeats: int = 5,
+) -> BenchResult:
+    """Time the two legs interleaved; return median-of-``repeats``."""
+    baseline_fn()
+    current_fn()
+    baseline_times: list[float] = []
+    current_times: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        baseline_fn()
+        baseline_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        current_fn()
+        current_times.append(time.perf_counter() - start)
+    return BenchResult(
+        name=name,
+        baseline_s=statistics.median(baseline_times),
+        current_s=statistics.median(current_times),
+        repeats=repeats,
+    )
+
+
+def results_to_json(
+    results: list[BenchResult],
+    quick: bool,
+    extra: dict | None = None,
+) -> dict:
+    """The JSON document shape committed as ``BENCH_hotpaths.json``."""
+    doc = {
+        "schema": 1,
+        "quick": quick,
+        "benchmarks": {
+            r.name: {
+                "baseline_s": round(r.baseline_s, 6),
+                "current_s": round(r.current_s, 6),
+                "speedup": round(r.speedup, 3),
+                "repeats": r.repeats,
+            }
+            for r in results
+        },
+    }
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def load_committed(path: str | Path = BENCH_FILE) -> dict | None:
+    """Load the committed baseline document, or ``None`` if absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def compare_to_committed(
+    results: list[BenchResult],
+    committed: dict | None,
+    factor: float = REGRESSION_FACTOR,
+) -> list[str]:
+    """Names of benchmarks slower than ``factor`` × the committed time.
+
+    Compares each result's ``current_s`` against the committed run's
+    ``current_s`` (the regression gate tracks the fast path against
+    itself, not against the reference leg).  Benchmarks absent from the
+    committed file are skipped.
+    """
+    if committed is None:
+        return []
+    recorded = committed.get("benchmarks", {})
+    regressions = []
+    for result in results:
+        entry = recorded.get(result.name)
+        if not entry:
+            continue
+        if result.current_s > factor * entry["current_s"]:
+            regressions.append(result.name)
+    return regressions
+
+
+def format_table(
+    results: list[BenchResult], committed: dict | None = None
+) -> str:
+    """Human-readable comparison table (vs committed when available)."""
+    recorded = (committed or {}).get("benchmarks", {})
+    header = (
+        f"{'benchmark':<22} {'baseline':>10} {'current':>10} "
+        f"{'speedup':>8} {'committed':>10} {'vs committed':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        entry = recorded.get(r.name)
+        if entry:
+            ratio = r.current_s / entry["current_s"]
+            committed_col = f"{entry['current_s'] * 1000:9.1f}ms"
+            vs_col = f"{ratio:12.2f}x"
+        else:
+            committed_col = f"{'—':>10}"
+            vs_col = f"{'—':>13}"
+        lines.append(
+            f"{r.name:<22} {r.baseline_s * 1000:9.1f}ms "
+            f"{r.current_s * 1000:9.1f}ms {r.speedup:7.2f}x "
+            f"{committed_col} {vs_col}"
+        )
+    return "\n".join(lines)

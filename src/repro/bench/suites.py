@@ -1,0 +1,317 @@
+"""The hot-path microbenchmark suites (``repro bench``).
+
+Each benchmark pairs the **reference** implementation with the current
+fast path over identical seeded inputs:
+
+* ``serde.encode.*`` — the map-side collect+spill composition.  The
+  reference leg is the pre-optimisation data plane verbatim: it
+  serialises every record twice (once for the accounted record size at
+  collect time, once for the spill bytes) through
+  :mod:`repro.mr.serde_ref`; the fast leg serialises once via
+  :func:`repro.mr.serde.append_record`.
+* ``serde.decode.*`` — a full framed-segment scan:
+  ``serde_ref.iter_records`` vs :func:`repro.mr.serde.decode_stream`.
+* ``spill.merge`` — scan k sorted runs, k-way merge, re-frame (the
+  map-side multi-pass merge composition): reference scan + comparator
+  wrapper merge keys + double-encode rewrite vs fused scan +
+  ``itemgetter`` merge keys + encode-once framing.
+* ``shared.decode`` — the paper's ``Shared`` structure under memory
+  pressure (add, spill, drain) with the fast paths toggled off vs on.
+* ``executor.oob`` — a payload-heavy task result crossing a pickle
+  boundary: default-protocol round trip vs the protocol-5 out-of-band
+  envelope (:func:`repro.mr.executor.dumps_oob`).
+* ``e2e.fig9`` — a small end-to-end Figure 9 run, reference toggle off
+  vs on.  Note the toggled-off leg still benefits from ungated
+  rewrites (serde dispatch tables, hash memo); the committed
+  ``BENCH_hotpaths.json`` therefore records the true pre-PR wall time,
+  measured by running this same benchmark at the pre-PR commit (see
+  ``benchmarks/perf/README.md``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from typing import Any, Callable, Iterable
+
+from repro.bench.harness import BenchResult, bench_pair
+from repro.mr import fastpath, serde, serde_ref
+from repro.mr.comparators import default_comparator
+from repro.mr.counters import Counters
+from repro.mr.executor import dumps_oob, loads_oob
+from repro.mr.segment import SegmentPayload
+from repro.mr.storage import LocalStore
+
+Record = tuple[Any, Any]
+
+
+# -- deterministic inputs --------------------------------------------------
+
+
+def _records_ints(n: int, seed: int = 7) -> list[Record]:
+    rng = random.Random(seed)
+    return [
+        (rng.randint(0, 1_000_000), rng.randint(0, 1_000_000))
+        for _ in range(n)
+    ]
+
+
+def _records_text(n: int, seed: int = 11) -> list[Record]:
+    rng = random.Random(seed)
+    return [
+        (
+            "".join(
+                chr(rng.randint(97, 122))
+                for _ in range(rng.randint(4, 16))
+            ),
+            rng.randint(0, 1_000_000),
+        )
+        for _ in range(n)
+    ]
+
+
+def _records_nested(n: int, seed: int = 13) -> list[Record]:
+    rng = random.Random(seed)
+    return [
+        (
+            "k%06d" % rng.randint(0, 99_999),
+            (
+                rng.randint(0, 1_000_000),
+                "v%04d" % rng.randint(0, 9_999),
+                rng.random(),
+            ),
+        )
+        for _ in range(n)
+    ]
+
+
+_SHAPES: dict[str, Callable[[int], list[Record]]] = {
+    "ints": _records_ints,
+    "text": _records_text,
+    "nested": _records_nested,
+}
+
+
+# -- reference-leg helpers (verbatim pre-optimisation compositions) --------
+
+
+def _ref_collect_and_frame(records: list[Record]) -> bytes:
+    """The seed collect+spill serialisation: every record encoded twice
+    (accounted size at collect, segment bytes at spill)."""
+    out = bytearray()
+    for key, value in records:
+        len(serde_ref.encode_kv(key, value))  # collect-time record size
+        raw = serde_ref.encode_kv(key, value)  # spill-time bytes
+        serde_ref.write_varint(out, len(raw))
+        out.extend(raw)
+    return bytes(out)
+
+
+def _fast_collect_and_frame(records: list[Record]) -> bytes:
+    out = bytearray()
+    append_record = serde.append_record
+    for key, value in records:
+        append_record(out, key, value)
+    return bytes(out)
+
+
+def _frame(records: Iterable[Record]) -> bytes:
+    out = bytearray()
+    for key, value in records:
+        serde.append_record(out, key, value)
+    return bytes(out)
+
+
+# -- suites ----------------------------------------------------------------
+
+
+def _serde_suite(quick: bool) -> list[BenchResult]:
+    n = 4_000 if quick else 20_000
+    repeats = 3 if quick else 7
+    results = []
+    for shape, make in _SHAPES.items():
+        records = make(n)
+        framed = _fast_collect_and_frame(records)
+        assert _ref_collect_and_frame(records) == framed
+        assert serde.decode_stream(framed) == list(
+            serde_ref.iter_records(framed)
+        )
+        results.append(
+            bench_pair(
+                f"serde.encode.{shape}",
+                lambda records=records: _ref_collect_and_frame(records),
+                lambda records=records: _fast_collect_and_frame(records),
+                repeats=repeats,
+            )
+        )
+        results.append(
+            bench_pair(
+                f"serde.decode.{shape}",
+                lambda framed=framed: list(serde_ref.iter_records(framed)),
+                lambda framed=framed: serde.decode_stream(framed),
+                repeats=repeats,
+            )
+        )
+    return results
+
+
+def _spill_merge_suite(quick: bool) -> list[BenchResult]:
+    import heapq
+
+    run_count = 4 if quick else 6
+    per_run = 1_000 if quick else 4_000
+    repeats = 3 if quick else 5
+    runs = [
+        bytes(
+            _frame(sorted(_records_text(per_run, seed=100 + index)))
+        )
+        for index in range(run_count)
+    ]
+
+    def reference() -> bytes:
+        key_fn = default_comparator.key_fn()
+        streams = [serde_ref.iter_records(run) for run in runs]
+        merged = heapq.merge(
+            *streams, key=lambda record: key_fn(record[0])
+        )
+        out = bytearray()
+        for key, value in merged:
+            raw = serde_ref.encode_kv(key, value)
+            serde_ref.write_varint(out, len(raw))
+            out.extend(raw)
+        return bytes(out)
+
+    def current() -> bytes:
+        from operator import itemgetter
+
+        streams = [iter(serde.decode_stream(run)) for run in runs]
+        merged = heapq.merge(*streams, key=itemgetter(0))
+        out = bytearray()
+        append_record = serde.append_record
+        for key, value in merged:
+            append_record(out, key, value)
+        return bytes(out)
+
+    assert reference() == current()
+    return [bench_pair("spill.merge", reference, current, repeats=repeats)]
+
+
+def _shared_suite(quick: bool) -> list[BenchResult]:
+    from repro.core.shared import Shared
+
+    n = 6_000 if quick else 30_000
+    repeats = 3 if quick else 5
+    rng = random.Random(17)
+    records = [
+        ("key%05d" % rng.randint(0, n // 8), rng.randint(0, 1_000_000))
+        for _ in range(n)
+    ]
+    memory_limit = 64 * 1024  # force several spill/merge rounds
+
+    def leg(flag: bool) -> Callable[[], int]:
+        def run() -> int:
+            with fastpath.forced(flag):
+                shared = Shared(
+                    default_comparator,
+                    default_comparator,
+                    LocalStore(Counters()),
+                    Counters(),
+                    memory_limit_bytes=memory_limit,
+                )
+                for key, value in records:
+                    shared.add(key, value)
+                groups = 0
+                for _key, _values in shared.drain():
+                    groups += 1
+                return groups
+
+        return run
+
+    assert leg(False)() == leg(True)()
+    return [
+        bench_pair("shared.decode", leg(False), leg(True), repeats=repeats)
+    ]
+
+
+def _executor_suite(quick: bool) -> list[BenchResult]:
+    payload_bytes = 256 * 1024 if quick else 1024 * 1024
+    payload_count = 4 if quick else 8
+    repeats = 3 if quick else 5
+    rng = random.Random(23)
+    payloads = [
+        SegmentPayload(
+            name=f"m{index}/out/p0",
+            partition=0,
+            record_count=100,
+            raw_bytes=payload_bytes,
+            codec_name=None,
+            data=bytes(
+                rng.getrandbits(8) for _ in range(payload_bytes)
+            ),
+            origin=f"m{index}",
+        )
+        for index in range(payload_count)
+    ]
+
+    def reference() -> list[SegmentPayload]:
+        return pickle.loads(pickle.dumps(payloads, protocol=4))
+
+    def current() -> list[SegmentPayload]:
+        return loads_oob(*dumps_oob(payloads))
+
+    assert reference() == current()
+    return [bench_pair("executor.oob", reference, current, repeats=repeats)]
+
+
+def _e2e_suite(quick: bool) -> list[BenchResult]:
+    from repro.experiments import run_fig9
+
+    queries = 600 if quick else 2_500
+    repeats = 1 if quick else 3
+
+    def leg(flag: bool) -> Callable[[], None]:
+        def run() -> None:
+            with fastpath.forced(flag):
+                run_fig9(
+                    num_queries=queries, num_reducers=4, num_splits=4
+                )
+
+        return run
+
+    return [bench_pair("e2e.fig9", leg(False), leg(True), repeats=repeats)]
+
+
+_SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
+    "serde": _serde_suite,
+    "spill": _spill_merge_suite,
+    "shared": _shared_suite,
+    "executor": _executor_suite,
+    "e2e": _e2e_suite,
+}
+
+
+def run_suites(
+    quick: bool = False,
+    only: Iterable[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run the benchmark suites; returns results in a stable order.
+
+    ``only`` restricts to a subset of suite names (``serde``,
+    ``spill``, ``shared``, ``executor``, ``e2e``).
+    """
+    selected = set(only) if only is not None else set(_SUITES)
+    unknown = selected - set(_SUITES)
+    if unknown:
+        known = ", ".join(sorted(_SUITES))
+        raise ValueError(
+            f"unknown suite(s) {sorted(unknown)}; known: {known}"
+        )
+    results: list[BenchResult] = []
+    for name, suite in _SUITES.items():
+        if name not in selected:
+            continue
+        if progress is not None:
+            progress(name)
+        results.extend(suite(quick))
+    return results

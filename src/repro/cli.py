@@ -21,6 +21,11 @@ Commands:
   profiling breakdown of a recorded ``.jsonl`` trace.
 * ``python -m repro summary`` — aggregate the benchmark reports under
   ``benchmarks/results/`` into one document.
+* ``python -m repro bench [--quick] [--check]`` — run the hot-path
+  microbenchmarks (serde, spill+merge, Shared, executor transport,
+  end-to-end fig9) and print a comparison table against the committed
+  ``BENCH_hotpaths.json``; ``--check`` exits non-zero on a >2x
+  regression vs the committed fast-path timings.
 
 Parameter overrides accept both ``--param value`` and ``--param=value``;
 an unknown parameter fails with the experiment's tunable list.
@@ -301,6 +306,66 @@ def _cmd_trace(path: str) -> int:
     return 0
 
 
+def _cmd_bench(
+    quick: bool,
+    check: bool,
+    suites: list[str] | None,
+    json_out: str | None,
+) -> int:
+    from repro.bench import (
+        compare_to_committed,
+        format_table,
+        load_committed,
+        results_to_json,
+        run_suites,
+    )
+
+    try:
+        results = run_suites(
+            quick=quick,
+            only=suites or None,
+            progress=lambda name: print(
+                f"running suite: {name}", file=sys.stderr, flush=True
+            ),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    committed = load_committed()
+    print(format_table(results, committed))
+    if json_out is not None:
+        import json
+
+        pathlib.Path(json_out).write_text(
+            json.dumps(
+                results_to_json(results, quick=quick),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {json_out}", file=sys.stderr)
+    if not check:
+        return 0
+    if committed is None:
+        print(
+            "error: --check needs the committed BENCH_hotpaths.json "
+            "(run benchmarks/perf/run_hotpaths.py to generate it)",
+            file=sys.stderr,
+        )
+        return 2
+    regressions = compare_to_committed(results, committed)
+    if regressions:
+        print(
+            "perf regression (>2x vs committed): "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print("no perf regressions vs committed baseline", file=sys.stderr)
+    return 0
+
+
 def _cmd_summary(results_dir: str) -> int:
     from repro.analysis.summary import collect_reports, render_summary
 
@@ -346,6 +411,34 @@ def main(argv: list[str] | None = None) -> int:
     trace_parser.add_argument(
         "events", help="the .jsonl file written by 'run --trace'"
     )
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the hot-path microbenchmarks"
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small inputs, few repeats (the CI perf-smoke mode)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if any benchmark regresses >2x vs the "
+        "committed BENCH_hotpaths.json",
+    )
+    bench_parser.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        metavar="NAME",
+        help="restrict to a suite (serde, spill, shared, executor, "
+        "e2e); repeatable",
+    )
+    bench_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the result document as JSON to PATH",
+    )
     summary_parser = subparsers.add_parser(
         "summary", help="aggregate persisted benchmark reports"
     )
@@ -362,6 +455,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_summary(args.results_dir)
         if args.command == "trace":
             return _cmd_trace(args.events)
+        if args.command == "bench":
+            return _cmd_bench(
+                args.quick, args.check, args.suites, args.json
+            )
         if args.jobs is not None:
             from repro.mr.executor import set_default_jobs
 

@@ -30,10 +30,11 @@ grouping-equal — as in Hadoop.
 from __future__ import annotations
 
 import heapq
+from operator import itemgetter
 from typing import Any, Callable, Iterator
 
 from repro.mr import counters as C
-from repro.mr import serde
+from repro.mr import fastpath, serde
 from repro.mr.api import Combiner, Context
 from repro.mr.comparators import Comparator
 from repro.mr.counters import Counters
@@ -73,10 +74,23 @@ class _Run:
         return self._head is None
 
     def pop_group(
-        self, rep_key: Any, grouping: Comparator
+        self, rep_key: Any, grouping: Comparator, natural: bool = False
     ) -> list[tuple[Any, Any]]:
-        """Pop all leading records grouping-equal to ``rep_key``."""
+        """Pop all leading records grouping-equal to ``rep_key``.
+
+        With ``natural`` the equality test is inlined as
+        ``not (a < b or a > b)`` — exactly when a natural grouping
+        comparator returns 0 — skipping a Python call per record.
+        """
         popped: list[tuple[Any, Any]] = []
+        if natural:
+            while self._head is not None:
+                head_key = self._head[0]
+                if head_key < rep_key or head_key > rep_key:
+                    break
+                popped.append(self._head)
+                self._advance()
+            return popped
         while self._head is not None and grouping.cmp(self._head[0], rep_key) == 0:
             popped.append(self._head)
             self._advance()
@@ -121,7 +135,19 @@ class Shared:
         self._combine_batch_size = combine_batch_size
         self._name_prefix = name_prefix
         self._key_fn: Callable[[Any], Any] = comparator.key_fn()
-        self._heap: list[Any] = []  # cmp_to_key wrappers; .obj is the key
+        # Fast paths: with a natural sort comparator the heap holds raw
+        # keys (a cmp_to_key wrapper around the natural cmp orders and
+        # ties exactly like the key itself, so heap pop order is
+        # identical); a natural grouping comparator unlocks inline
+        # group-equality tests.  Both are gated on the process-wide
+        # toggle so the invariance tests can run either way.
+        self._fast_keys = fastpath.enabled() and comparator.is_natural
+        self._fast_group = (
+            fastpath.enabled() and grouping_comparator.is_natural
+        )
+        #: Raw keys when ``_fast_keys``, else cmp_to_key wrappers
+        #: (``.obj`` is the key).
+        self._heap: list[Any] = []
         self._table: dict[Any, _Entry] = {}
         self._mem_bytes = 0
         self._runs: list[_Run] = []
@@ -152,7 +178,9 @@ class Shared:
         entry = self._table.get(key_id)
         if entry is None:
             self._table[key_id] = _Entry(key, [value], size)
-            heapq.heappush(self._heap, self._key_fn(key))
+            heapq.heappush(
+                self._heap, key if self._fast_keys else self._key_fn(key)
+            )
             self._mem_bytes += size
         else:
             entry.values.append(value)
@@ -213,8 +241,16 @@ class Shared:
         best: Any = None
         have_best = False
         if self._heap:
-            best = self._heap[0].obj
+            best = self._heap[0] if self._fast_keys else self._heap[0].obj
             have_best = True
+        if self._fast_keys:
+            for run in self._runs:
+                if run.exhausted:
+                    continue
+                if not have_best or run.head_key < best:
+                    best = run.head_key
+                    have_best = True
+            return best if have_best else None
         for run in self._runs:
             if run.exhausted:
                 continue
@@ -233,19 +269,52 @@ class Shared:
         rep_key = self.peek_min_key()
         if rep_key is None:
             raise KeyError("pop_min_key_values on empty Shared")
-        collected: list[tuple[Any, list]] = []  # (sort-wrapper, values)
-        while self._heap and self._grouping.cmp(self._heap[0].obj, rep_key) == 0:
-            wrapper = heapq.heappop(self._heap)
-            entry = self._table.pop(self._key_id(wrapper.obj))
-            self._mem_bytes -= entry.nbytes
-            collected.append((wrapper, entry.values))
-        for run in self._runs:
-            for key, value in run.pop_group(rep_key, self._grouping):
-                collected.append((self._key_fn(key), [value]))
+        collected: list[tuple[Any, list]] = []  # (sort key, values)
+        fast = self._fast_keys and self._fast_group
+        if fast:
+            heap = self._heap
+            while heap:
+                key = heap[0]
+                if key < rep_key or key > rep_key:
+                    break
+                heapq.heappop(heap)
+                entry = self._table.pop(self._key_id(key))
+                self._mem_bytes -= entry.nbytes
+                collected.append((key, entry.values))
+            for run in self._runs:
+                for key, value in run.pop_group(
+                    rep_key, self._grouping, natural=True
+                ):
+                    collected.append((key, [value]))
+        else:
+            while (
+                self._heap
+                and self._grouping.cmp(self._head_obj(), rep_key) == 0
+            ):
+                wrapper = heapq.heappop(self._heap)
+                key = wrapper if self._fast_keys else wrapper.obj
+                entry = self._table.pop(self._key_id(key))
+                self._mem_bytes -= entry.nbytes
+                collected.append((wrapper, entry.values))
+            for run in self._runs:
+                for key, value in run.pop_group(
+                    rep_key, self._grouping, natural=self._fast_group
+                ):
+                    collected.append(
+                        (
+                            key if self._fast_keys else self._key_fn(key),
+                            [value],
+                        )
+                    )
         self._runs = [run for run in self._runs if not run.exhausted]
-        collected.sort(key=lambda item: item[0])
+        collected.sort(key=itemgetter(0))
         values = [value for _, group in collected for value in group]
         return rep_key, values
+
+    def _head_obj(self) -> Any:
+        """The raw key at the top of the heap."""
+        top = self._heap[0]
+        return top if self._fast_keys else top.obj
 
     def drain(self) -> Iterator[tuple[Any, list]]:
         """Pop every remaining group in ascending key order."""
@@ -284,12 +353,25 @@ class Shared:
         ) as span:
             writer = SpillWriter(self._store, name)
             records = 0
-            while self._heap:
-                wrapper = heapq.heappop(self._heap)
-                entry = self._table.pop(self._key_id(wrapper.obj))
-                for value in entry.values:
-                    writer.append(entry.key, value)
-                    records += 1
+            if self._fast_keys:
+                # Encode each entry's key once and reuse the bytes for
+                # every value in the group (byte-identical output).
+                encode = serde.encode
+                append_parts = writer.append_parts
+                while self._heap:
+                    key = heapq.heappop(self._heap)
+                    entry = self._table.pop(self._key_id(key))
+                    key_bytes = encode(entry.key)
+                    for value in entry.values:
+                        append_parts(key_bytes, value)
+                        records += 1
+            else:
+                while self._heap:
+                    wrapper = heapq.heappop(self._heap)
+                    entry = self._table.pop(self._key_id(wrapper.obj))
+                    for value in entry.values:
+                        writer.append(entry.key, value)
+                        records += 1
             spill_file = writer.close()
             span.set(records=records, bytes=spill_file.size_bytes)
         self._spilled_records += records
@@ -311,9 +393,12 @@ class Shared:
         ):
             writer = SpillWriter(self._store, name)
             streams = [run.drain() for run in self._runs]
-            merged = heapq.merge(
-                *streams, key=lambda record: self._key_fn(record[0])
-            )
+            if self._fast_keys:
+                merged = heapq.merge(*streams, key=itemgetter(0))
+            else:
+                merged = heapq.merge(
+                    *streams, key=lambda record: self._key_fn(record[0])
+                )
             for key, value in merged:
                 writer.append(key, value)
             for run in self._runs:

@@ -27,6 +27,15 @@ from repro.mr import serde
 from repro.mr.counters import Counters
 
 
+#: Memo for :func:`stable_hash`, keyed ``(type, key)`` and restricted
+#: to exact ``str``/``int`` keys: for those, ``==`` equality implies an
+#: identical serialised representation, so the cached CRC is exactly
+#: what a fresh encode would produce.  (Containers are excluded —
+#: ``(1,)`` and ``(True,)`` compare equal but encode differently.)
+_HASH_MEMO: dict = {}
+_HASH_MEMO_LIMIT = 1 << 17
+
+
 def stable_hash(key: Any) -> int:
     """Deterministic, process-independent 32-bit hash of a key.
 
@@ -34,6 +43,16 @@ def stable_hash(key: Any) -> int:
     the simulator hashes the serialised representation instead — the
     moral equivalent of Hadoop hashing the Writable bytes.
     """
+    kind = type(key)
+    if kind is str or kind is int:
+        memo_key = (kind, key)
+        cached = _HASH_MEMO.get(memo_key)
+        if cached is None:
+            cached = zlib.crc32(serde.encode(key))
+            if len(_HASH_MEMO) >= _HASH_MEMO_LIMIT:
+                _HASH_MEMO.clear()
+            _HASH_MEMO[memo_key] = cached
+        return cached
     return zlib.crc32(serde.encode(key))
 
 

@@ -23,10 +23,11 @@ reproduced.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.mr import counters as C
-from repro.mr import serde
+from repro.mr import fastpath, serde
 from repro.mr.api import Context
 from repro.mr.compress import get_codec
 from repro.mr.config import JobConf
@@ -40,6 +41,9 @@ from repro.obs.trace import current_tracer
 MIN_SPILLS_FOR_COMBINE = 3
 
 EmitFn = Callable[[Any, Any], None]
+
+#: Sort key for the natural-order fast path: (partition, raw key).
+_PARTITION_AND_KEY = itemgetter(0, 1)
 
 
 class CombineRunner:
@@ -96,12 +100,21 @@ class MapOutputBuffer:
         self._context = context
         self._task_id = task_id
         self._codec = get_codec(job.map_output_codec)
-        self._records: list[tuple[int, Any, Any]] = []
+        #: Buffered records: ``(partition, key, value)`` tuples on the
+        #: reference path, ``(partition, key, value, payload)`` with the
+        #: collect-time serialisation cached when payloads are kept.
+        self._records: list[tuple] = []
         self._buffered_bytes = 0
         self._spills: list[dict[int, Segment]] = []
         self._combine_runner = (
             CombineRunner(job, context) if job.combiner is not None else None
         )
+        self._fast = fastpath.enabled()
+        # The collect-time payload is only worth keeping when segments
+        # will contain exactly the collected records: a spill-time
+        # combiner rewrites them, so caching bytes would be dead weight.
+        self._keep_payloads = self._fast and self._combine_runner is None
+        self._scratch = bytearray()
         self._finalized = False
 
     # -- collection ------------------------------------------------------
@@ -120,7 +133,17 @@ class MapOutputBuffer:
                 f"outside [0, {job.num_reducers})"
             )
         counters.add(C.CPU_PARTITION_SECONDS, cost)
-        size = serde.record_size(key, value)
+        if self._keep_payloads:
+            # Serialise once: the same bytes provide the accounted
+            # record size here and the segment payload at spill time
+            # (the reference path encodes each record twice).
+            scratch = self._scratch
+            scratch.clear()
+            size = serde.encode_kv_into(scratch, key, value)
+            record = (partition, key, value, bytes(scratch))
+        else:
+            size = serde.record_size(key, value)
+            record = (partition, key, value)
         counters.add(C.MAP_OUTPUT_RECORDS)
         counters.add(C.MAP_OUTPUT_BYTES, size)
         model = job.framework_cost_model
@@ -128,7 +151,7 @@ class MapOutputBuffer:
             C.CPU_FRAMEWORK_SECONDS,
             model.serialize_cost(size) + model.record_cost(1),
         )
-        self._records.append((partition, key, value))
+        self._records.append(record)
         self._buffered_bytes += size
         # Spill when either the data region or the per-record metadata
         # region fills (Hadoop's io.sort.mb / io.sort.record.percent).
@@ -140,23 +163,42 @@ class MapOutputBuffer:
 
     # -- spilling --------------------------------------------------------
     def _sorted_by_partition(
-        self, records: list[tuple[int, Any, Any]]
-    ) -> Iterator[tuple[int, list[tuple[Any, Any]]]]:
-        """Sort records by (partition, key); yield per-partition lists."""
+        self, records: list[tuple]
+    ) -> Iterator[tuple[int, list[tuple]]]:
+        """Sort records by (partition, key); yield per-partition slices.
+
+        The yielded lists hold the buffer's record tuples; callers pick
+        the fields they need.  The sort key depends on the comparator:
+        natural order sorts by the raw key, an encoded-bytes comparator
+        sorts by the cached serialised key, anything else falls back to
+        a ``cmp_to_key`` wrapper per record.  All three orderings are
+        identical (ties broken by buffer order either way — Python's
+        sort is stable and equal keys compare equal under the wrapper
+        too), and the sort-cost charge depends only on the record
+        count.
+        """
         job = self._job
-        key_fn = job.comparator.key_fn()
-        records.sort(key=lambda rec: (rec[0], key_fn(rec[1])))
+        comparator = job.comparator
+        if self._fast and comparator.is_natural:
+            records.sort(key=_PARTITION_AND_KEY)
+        elif self._fast and comparator.orders_by_encoded_bytes:
+            encode = serde.encode
+            records.sort(key=lambda rec: (rec[0], encode(rec[1])))
+        else:
+            key_fn = comparator.key_fn()
+            records.sort(key=lambda rec: (rec[0], key_fn(rec[1])))
         self._context.counters.add(
             C.CPU_FRAMEWORK_SECONDS,
             job.framework_cost_model.sort_cost(len(records)),
         )
         start = 0
-        while start < len(records):
+        total = len(records)
+        while start < total:
             partition = records[start][0]
             end = start
-            while end < len(records) and records[end][0] == partition:
+            while end < total and records[end][0] == partition:
                 end += 1
-            yield partition, [(k, v) for _, k, v in records[start:end]]
+            yield partition, records[start:end]
             start = end
 
     def _apply_combiner(
@@ -175,6 +217,20 @@ class MapOutputBuffer:
         )
         return combined
 
+    def _segment_from_chunk(
+        self, name: str, partition: int, chunk: list[tuple]
+    ) -> Segment:
+        """Write one partition's sorted buffer slice as a segment."""
+        if self._combine_runner is not None:
+            pairs = [(rec[1], rec[2]) for rec in chunk]
+            combined = self._apply_combiner(partition, pairs)
+            return self._write_segment(name, partition, combined)
+        if self._keep_payloads:
+            return self._write_segment_payloads(name, partition, chunk)
+        return self._write_segment(
+            name, partition, [(rec[1], rec[2]) for rec in chunk]
+        )
+
     def _write_segment(
         self,
         name: str,
@@ -182,16 +238,40 @@ class MapOutputBuffer:
         records: Iterable[tuple[Any, Any]],
     ) -> Segment:
         """Serialise, compress (metered) and persist one segment."""
-        job = self._job
-        counters = self._context.counters
         buf = bytearray()
         count = 0
+        append_record = serde.append_record
         for key, value in records:
-            payload = serde.encode_kv(key, value)
-            serde.write_varint(buf, len(payload))
-            buf.extend(payload)
+            append_record(buf, key, value)
             count += 1
-        raw = bytes(buf)
+        return self._persist_segment(name, partition, bytes(buf), count)
+
+    def _write_segment_payloads(
+        self,
+        name: str,
+        partition: int,
+        chunk: list[tuple],
+    ) -> Segment:
+        """Persist a segment from records carrying cached payloads.
+
+        ``chunk`` holds 4-tuple buffer records whose last field is the
+        collect-time serialisation; framing them yields byte-identical
+        segment data to re-encoding the keys and values.
+        """
+        buf = bytearray()
+        write_varint = serde.write_varint
+        extend = buf.extend
+        for record in chunk:
+            payload = record[3]
+            write_varint(buf, len(payload))
+            extend(payload)
+        return self._persist_segment(name, partition, bytes(buf), len(chunk))
+
+    def _persist_segment(
+        self, name: str, partition: int, raw: bytes, count: int
+    ) -> Segment:
+        job = self._job
+        counters = self._context.counters
         counters.add(
             C.CPU_FRAMEWORK_SECONDS,
             job.framework_cost_model.serialize_cost(len(raw)),
@@ -223,14 +303,12 @@ class MapOutputBuffer:
             records=len(self._records),
         ):
             segments: dict[int, Segment] = {}
-            for partition, records in self._sorted_by_partition(
+            for partition, chunk in self._sorted_by_partition(
                 self._records
             ):
-                if self._combine_runner is not None:
-                    records = self._apply_combiner(partition, records)
                 name = f"{self._task_id}/spill{spill_index}/p{partition}"
-                segments[partition] = self._write_segment(
-                    name, partition, records
+                segments[partition] = self._segment_from_chunk(
+                    name, partition, chunk
                 )
         self._spills.append(segments)
         self._records = []
@@ -326,12 +404,10 @@ class MapOutputBuffer:
             # Everything fits in memory: sort, combine, write final
             # output directly (a single disk write, like Hadoop).
             segments: dict[int, Segment] = {}
-            for partition, records in self._sorted_by_partition(self._records):
-                if self._combine_runner is not None:
-                    records = self._apply_combiner(partition, records)
+            for partition, chunk in self._sorted_by_partition(self._records):
                 name = f"{self._task_id}/out/p{partition}"
-                segments[partition] = self._write_segment(
-                    name, partition, records
+                segments[partition] = self._segment_from_chunk(
+                    name, partition, chunk
                 )
             self._records = []
             self._buffered_bytes = 0

@@ -24,7 +24,10 @@ class Comparator:
 
     ``is_natural`` marks the comparator as equivalent to Python's
     native ordering, unlocking fast paths (plain ``sorted``/``min``)
-    in hot code.
+    in hot code.  ``orders_by_encoded_bytes`` marks a comparator whose
+    order is exactly the lexicographic order of ``serde.encode(key)``;
+    sorts may then use the cached serialised key as the sort key
+    instead of calling ``cmp`` per comparison.
     """
 
     def __init__(
@@ -32,10 +35,12 @@ class Comparator:
         cmp_fn: Callable[[Any, Any], int],
         name: str = "custom",
         is_natural: bool = False,
+        orders_by_encoded_bytes: bool = False,
     ):
         self._cmp_fn = cmp_fn
         self.name = name
         self.is_natural = is_natural
+        self.orders_by_encoded_bytes = orders_by_encoded_bytes
 
     def cmp(self, a: Any, b: Any) -> int:
         return self._cmp_fn(a, b)
@@ -85,7 +90,9 @@ default_comparator = Comparator(_natural_cmp, name="natural", is_natural=True)
 
 #: Hadoop-style comparison of the serialised byte representation.  Works
 #: for mixed key types that are not mutually comparable in Python.
-raw_bytes_comparator = Comparator(_raw_bytes_cmp, name="raw-bytes")
+raw_bytes_comparator = Comparator(
+    _raw_bytes_cmp, name="raw-bytes", orders_by_encoded_bytes=True
+)
 
 
 def comparator_from_key(key_fn: Callable[[Any], Any], name: str = "keyed") -> Comparator:

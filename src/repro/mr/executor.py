@@ -39,6 +39,66 @@ class ExecutorError(RuntimeError):
     """Raised for executor misconfiguration or infrastructure failure."""
 
 
+# -- out-of-band buffer transport ------------------------------------------
+#
+# Task arguments and results carry large segment payloads (the map
+# output bytes).  The stock pool transport pickles them at the default
+# protocol (4), which embeds every payload inside the pickle stream —
+# each hop then holds the bytes twice (stream + object) on each side.
+# These helpers serialise with pickle protocol 5 and collect the
+# payloads as out-of-band buffers instead: ``dumps_oob`` never copies a
+# payload (the buffer list references the original bytes objects) and
+# ``loads_oob`` reconstructs objects that share the supplied buffers,
+# so within a process the round trip is zero-copy.
+
+
+def dumps_oob(obj: Any) -> tuple[bytes, list[bytes]]:
+    """Pickle ``obj`` with protocol 5, payloads as out-of-band buffers.
+
+    Returns ``(stream, buffers)``; the stream contains everything but
+    the out-of-band data, and ``buffers`` holds the payload bytes —
+    the original objects, not copies, whenever the underlying buffer
+    is ``bytes``.
+    """
+    raw_buffers: list[pickle.PickleBuffer] = []
+    stream = pickle.dumps(
+        obj, protocol=5, buffer_callback=raw_buffers.append
+    )
+    buffers: list[bytes] = []
+    for pb in raw_buffers:
+        view = pb.raw()
+        underlying = view.obj
+        buffers.append(
+            underlying if isinstance(underlying, bytes) else bytes(view)
+        )
+        view.release()
+    return stream, buffers
+
+
+def loads_oob(stream: bytes, buffers: list[bytes]) -> Any:
+    """Inverse of :func:`dumps_oob`; reconstructed objects share the
+    buffers (read-only ``bytes`` buffers are adopted, not copied)."""
+    return pickle.loads(stream, buffers=buffers)
+
+
+class _OobEnvelope:
+    """A task result serialised by :func:`dumps_oob` in the worker.
+
+    The pool transports the envelope instead of the result object, so
+    payload bytes ride as flat top-level buffers rather than embedded
+    in a nested object graph; :meth:`_PoolFuture.result` opens it.
+    """
+
+    __slots__ = ("stream", "buffers")
+
+    def __init__(self, stream: bytes, buffers: list[bytes]):
+        self.stream = stream
+        self.buffers = buffers
+
+    def __reduce__(self):
+        return (_OobEnvelope, (self.stream, self.buffers))
+
+
 class UnpicklableJobError(ExecutorError):
     """The job cannot cross a process boundary.
 
@@ -112,7 +172,16 @@ class _PoolFuture(TaskFuture):
         self._future = future
 
     def result(self) -> Any:
-        return self._future.result()
+        value = self._future.result()
+        if isinstance(value, _OobEnvelope):
+            return loads_oob(value.stream, value.buffers)
+        return value
+
+
+def _invoke_oob(fn: Callable[..., Any], stream: bytes, buffers: list[bytes]) -> Any:
+    """Worker-side shim: unpack OOB args, run, repack the result."""
+    args = loads_oob(stream, buffers)
+    return _OobEnvelope(*dumps_oob(fn(*args)))
 
 
 class ParallelExecutor(Executor):
@@ -145,7 +214,8 @@ class ParallelExecutor(Executor):
     def submit(self, fn: Callable[..., Any], /, *args: Any) -> TaskFuture:
         if self._closed:
             raise ExecutorError("executor already closed")
-        return _PoolFuture(self._pool.submit(fn, *args))
+        stream, buffers = dumps_oob(args)
+        return _PoolFuture(self._pool.submit(_invoke_oob, fn, stream, buffers))
 
     def close(self) -> None:
         if not self._closed:

@@ -1,0 +1,63 @@
+"""Toggle for the data-plane fast paths (DESIGN.md §8).
+
+The hot paths of the data plane — collect-time serialisation, cached
+sort keys, offset-walking segment scans, raw-key heaps in ``Shared`` —
+are algebraically equivalent to the straightforward reference code
+they replace: same bytes, same record order, same counter charges.
+This module is the single switch that selects between them, so the
+counter-invariance golden test (and a suspicious developer) can run
+the same job both ways and diff the counters.
+
+The toggle defaults to *on* and can be disabled with the environment
+variable ``REPRO_FASTPATH=0`` (or ``false`` / ``off``), or from code
+via :func:`set_enabled` / the :func:`disabled` context manager.
+
+Implementation notes: hot code reads the flag once per task phase (not
+per record), so flipping it mid-task is unsupported; flip it between
+jobs, as the tests do.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_enabled: bool = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def enabled() -> bool:
+    """Whether the data-plane fast paths are active."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Turn the fast paths on or off process-wide."""
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the reference path (restores the prior setting)."""
+    previous = _enabled
+    set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+@contextmanager
+def forced(value: bool) -> Iterator[None]:
+    """Run a block with the toggle pinned to ``value``."""
+    previous = _enabled
+    set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

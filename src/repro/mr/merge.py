@@ -3,9 +3,35 @@
 from __future__ import annotations
 
 import heapq
+from operator import itemgetter
 from typing import Any, Iterable, Iterator
 
+from repro.mr import fastpath, serde
 from repro.mr.comparators import Comparator
+
+_FIRST = itemgetter(0)
+
+
+def merge_key_fn(comparator: Comparator):
+    """The cheapest ``key=`` adapter for merging records under
+    ``comparator``.
+
+    Natural order sorts by the raw key (a ``cmp_to_key`` wrapper around
+    ``_natural_cmp`` orders and ties exactly like the key itself);
+    encoded-bytes order sorts by the serialised key (that comparator
+    literally compares encoded bytes).  Both produce the same merge
+    order as the generic wrapper — ``heapq.merge`` is stable either
+    way — while avoiding a wrapper-object allocation and a Python
+    ``cmp`` call per comparison.
+    """
+    if fastpath.enabled():
+        if comparator.is_natural:
+            return _FIRST
+        if comparator.orders_by_encoded_bytes:
+            encode = serde.encode
+            return lambda record: encode(record[0])
+    key_fn = comparator.key_fn()
+    return lambda record: key_fn(record[0])
 
 
 def merge_sorted(
@@ -17,8 +43,7 @@ def merge_sorted(
     Equal keys preserve stream order (stable), which keeps secondary
     sort semantics intact.
     """
-    key_fn = comparator.key_fn()
-    return heapq.merge(*streams, key=lambda record: key_fn(record[0]))
+    return heapq.merge(*streams, key=merge_key_fn(comparator))
 
 
 def group_by_key(
@@ -34,6 +59,21 @@ def group_by_key(
     current_key: Any = None
     values: list[Any] = []
     have_group = False
+    if fastpath.enabled() and grouping_comparator.is_natural:
+        # ``not (a < b or a > b)`` mirrors ``_natural_cmp`` returning 0
+        # (equality under the ordering, not ``__eq__``).
+        for key, value in records:
+            if have_group and not (key < current_key or key > current_key):
+                values.append(value)
+            else:
+                if have_group:
+                    yield current_key, values
+                current_key = key
+                values = [value]
+                have_group = True
+        if have_group:
+            yield current_key, values
+        return
     for key, value in records:
         if have_group and grouping_comparator.cmp(key, current_key) == 0:
             values.append(value)

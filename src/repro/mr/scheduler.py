@@ -136,6 +136,12 @@ class ScriptedFaults(FaultPolicy):
 # back attached to the picklable result — like the segment payloads —
 # and the scheduler re-bases them onto the job timeline.  On failure
 # the partial counters and spans ride back inside TaskAttemptFailure.
+#
+# On the process pool, attempt arguments and results cross the boundary
+# as pickle-protocol-5 envelopes with segment payload bytes carried as
+# out-of-band buffers (see executor.dumps_oob): map results returning
+# here and the shuffle plan's payload lists submitted to reduce
+# attempts are never re-embedded in a nested pickle stream.
 
 
 def _run_map_attempt(

@@ -8,10 +8,11 @@ of a Hadoop spill or final map-output file.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
-from repro.mr import serde
+from repro.mr import fastpath, serde
 from repro.mr.compress import Codec, get_codec
 
 
@@ -25,10 +26,31 @@ def build_segment_bytes(
     """
     buf = bytearray()
     count = 0
+    append_record = serde.append_record
     for key, value in records:
-        payload = serde.encode_kv(key, value)
-        serde.write_varint(buf, len(payload))
-        buf.extend(payload)
+        append_record(buf, key, value)
+        count += 1
+    raw = bytes(buf)
+    return codec.compress(raw), count, len(raw)
+
+
+def build_segment_from_payloads(
+    payloads: Iterable[bytes], codec: Codec
+) -> tuple[bytes, int, int]:
+    """Like :func:`build_segment_bytes` for already-serialised records.
+
+    ``payloads`` are unframed record payloads (as produced by
+    :func:`repro.mr.serde.encode_kv`); the frame prefix is added here.
+    This is the spill path when records were serialised once at collect
+    time — byte-identical to re-encoding them.
+    """
+    buf = bytearray()
+    count = 0
+    write_varint = serde.write_varint
+    extend = buf.extend
+    for payload in payloads:
+        write_varint(buf, len(payload))
+        extend(payload)
         count += 1
     raw = bytes(buf)
     return codec.compress(raw), count, len(raw)
@@ -37,6 +59,9 @@ def build_segment_bytes(
 def iter_segment_bytes(data: bytes, codec: Codec) -> Iterator[tuple[Any, Any]]:
     """Decompress and yield the records of a segment in stored order."""
     raw = codec.decompress(data)
+    if fastpath.enabled():
+        yield from serde.decode_stream(raw)
+        return
     offset = 0
     while offset < len(raw):
         length, offset = serde.read_varint(raw, offset)
@@ -103,6 +128,25 @@ class SegmentPayload:
     def codec(self) -> Codec:
         return get_codec(self.codec_name)
 
+    def __reduce_ex__(self, protocol: int):
+        # Protocol 5: ship ``data`` as an out-of-band buffer so
+        # serialising a payload never copies the segment bytes and an
+        # out-of-band load adopts the buffer (see executor.dumps_oob).
+        if protocol >= 5:
+            return (
+                _rebuild_payload,
+                (
+                    self.name,
+                    self.partition,
+                    self.record_count,
+                    self.raw_bytes,
+                    self.codec_name,
+                    pickle.PickleBuffer(self.data),
+                    self.origin,
+                ),
+            )
+        return super().__reduce_ex__(protocol)
+
     def scan(self) -> Iterator[tuple[Any, Any]]:
         """Yield records in sorted order (no disk accounting: the
         payload is an already-fetched in-memory copy)."""
@@ -125,6 +169,34 @@ class SegmentPayload:
             raw_bytes=self.raw_bytes,
             codec=self.codec,
         )
+
+
+def _rebuild_payload(
+    name: str,
+    partition: int,
+    record_count: int,
+    raw_bytes: int,
+    codec_name: str | None,
+    data: Any,
+    origin: str,
+) -> SegmentPayload:
+    """Reconstructor for pickled payloads (protocol 5 reduce).
+
+    ``data`` arrives as the adopted out-of-band buffer — the original
+    ``bytes`` object when unpickled in-process — or as in-band bytes;
+    anything else (a writable buffer) is snapshotted.
+    """
+    if not isinstance(data, bytes):
+        data = bytes(data)
+    return SegmentPayload(
+        name=name,
+        partition=partition,
+        record_count=record_count,
+        raw_bytes=raw_bytes,
+        codec_name=codec_name,
+        data=data,
+        origin=origin,
+    )
 
 
 def export_segment(segment: Segment, origin: str) -> SegmentPayload:

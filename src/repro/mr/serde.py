@@ -11,12 +11,30 @@ The format is: one tag byte, followed by a type-specific payload.
 Variable-length payloads are prefixed with an unsigned LEB128 varint.
 Integers are zig-zag encoded varints, so small values stay small — the
 same trick Hadoop's ``VIntWritable`` uses.
+
+Implementation notes (the data-plane fast path, DESIGN.md §8):
+
+* The encoder streams into one caller-supplied ``bytearray``
+  (:func:`encode_into` / :func:`encode_kv_into`), so hot paths reuse a
+  single buffer instead of concatenating per-value ``bytes`` objects.
+  Type dispatch is a ``dict`` keyed on ``type(obj)`` with an
+  ``isinstance`` fallback for subclasses, replacing the type-check
+  ladder; varints for the common short lengths are emitted inline.
+* The decoder walks the buffer with integer offsets
+  (:func:`decode_from` / :func:`decode_kv_from`) and dispatches on the
+  tag byte through a 256-entry table; it slices only where a payload
+  must be materialised (strings, bytes, bigints) and accepts a
+  ``memoryview`` so segment scans never copy per record.
+* The byte format is frozen: every function here produces/consumes
+  exactly the same bytes as the straightforward reference
+  implementation in :mod:`repro.mr.serde_ref`, which the property
+  tests fuzz against.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Callable
 
 # Type tags (one byte each).
 _TAG_NONE = 0x00
@@ -36,6 +54,12 @@ _TAG_FROZENSET = 0x0A
 _TAG_BIGINT = 0x0B  # ints too large for 64-bit zig-zag
 
 _FLOAT_STRUCT = struct.Struct(">d")
+_FLOAT_PACK = _FLOAT_STRUCT.pack
+_FLOAT_UNPACK_FROM = _FLOAT_STRUCT.unpack_from
+
+#: Inclusive bounds of the zig-zag varint integer range.
+_INT_LO = -(1 << 62)
+_INT_HI = 1 << 62
 
 
 class SerdeError(ValueError):
@@ -55,6 +79,680 @@ class _Extension:
 
 _EXTENSIONS: dict[int, _Extension] = {}
 _EXTENSION_BY_CLS: dict[type, _Extension] = {}
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise SerdeError(f"varint must be non-negative, got {value}")
+    while value > 0x7F:
+        out.append(value & 0x7F | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_varint(data: Any, offset: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint; return ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    size = len(data)
+    while True:
+        if offset >= size:
+            raise SerdeError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise SerdeError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# -- encoding --------------------------------------------------------------
+#
+# One small function per type, registered in _ENCODERS by exact type.
+# Hot encoders inline the varint loop for their length prefix: lengths
+# are usually < 128, so the common case is a single append.
+
+
+def _enc_none(out: bytearray, obj: Any) -> None:
+    out.append(_TAG_NONE)
+
+
+def _enc_bool(out: bytearray, obj: Any) -> None:
+    out.append(_TAG_TRUE if obj else _TAG_FALSE)
+
+
+def _enc_int(out: bytearray, obj: Any) -> None:
+    if _INT_LO <= obj < _INT_HI:
+        out.append(_TAG_INT)
+        value = (obj << 1) ^ (obj >> 63)
+        while value > 0x7F:
+            out.append(value & 0x7F | 0x80)
+            value >>= 7
+        out.append(value)
+    else:
+        raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+        out.append(_TAG_BIGINT)
+        write_varint(out, len(raw))
+        out += raw
+
+
+def _enc_float(out: bytearray, obj: Any) -> None:
+    out.append(_TAG_FLOAT)
+    out += _FLOAT_PACK(obj)
+
+
+def _enc_str(out: bytearray, obj: Any) -> None:
+    raw = obj.encode("utf-8")
+    out.append(_TAG_STR)
+    length = len(raw)
+    while length > 0x7F:
+        out.append(length & 0x7F | 0x80)
+        length >>= 7
+    out.append(length)
+    out += raw
+
+
+def _enc_bytes(out: bytearray, obj: Any) -> None:
+    out.append(_TAG_BYTES)
+    length = len(obj)
+    while length > 0x7F:
+        out.append(length & 0x7F | 0x80)
+        length >>= 7
+    out.append(length)
+    out += obj
+
+
+# The container encoders inline the scalar cases (str, int, float) in
+# their element loops: a `type(item) is ...` chain costs a pointer
+# compare, while even a table hit costs a dict lookup plus a Python
+# function call per element.  The inline bodies are byte-for-byte the
+# same as _enc_str/_enc_int/_enc_float; keep the four copies (tuple,
+# list, extension, encode_kv_into) in sync.
+
+
+def _enc_tuple(out: bytearray, obj: Any) -> None:
+    out.append(_TAG_TUPLE)
+    length = len(obj)
+    while length > 0x7F:
+        out.append(length & 0x7F | 0x80)
+        length >>= 7
+    out.append(length)
+    append = out.append
+    get = _ENCODERS.get
+    for item in obj:
+        kind = type(item)
+        if kind is str:
+            raw = item.encode("utf-8")
+            append(0x05)  # _TAG_STR
+            size = len(raw)
+            while size > 0x7F:
+                append(size & 0x7F | 0x80)
+                size >>= 7
+            append(size)
+            out += raw
+        elif kind is int:
+            if _INT_LO <= item < _INT_HI:
+                append(0x03)  # _TAG_INT
+                value = (item << 1) ^ (item >> 63)
+                while value > 0x7F:
+                    append(value & 0x7F | 0x80)
+                    value >>= 7
+                append(value)
+            else:
+                _enc_int(out, item)
+        elif kind is float:
+            append(0x04)  # _TAG_FLOAT
+            out += _FLOAT_PACK(item)
+        else:
+            encoder = get(kind)
+            if encoder is not None:
+                encoder(out, item)
+            else:
+                _encode_fallback(out, item)
+
+
+def _enc_list(out: bytearray, obj: Any) -> None:
+    out.append(_TAG_LIST)
+    length = len(obj)
+    while length > 0x7F:
+        out.append(length & 0x7F | 0x80)
+        length >>= 7
+    out.append(length)
+    append = out.append
+    get = _ENCODERS.get
+    for item in obj:
+        kind = type(item)
+        if kind is str:
+            raw = item.encode("utf-8")
+            append(0x05)  # _TAG_STR
+            size = len(raw)
+            while size > 0x7F:
+                append(size & 0x7F | 0x80)
+                size >>= 7
+            append(size)
+            out += raw
+        elif kind is int:
+            if _INT_LO <= item < _INT_HI:
+                append(0x03)  # _TAG_INT
+                value = (item << 1) ^ (item >> 63)
+                while value > 0x7F:
+                    append(value & 0x7F | 0x80)
+                    value >>= 7
+                append(value)
+            else:
+                _enc_int(out, item)
+        elif kind is float:
+            append(0x04)  # _TAG_FLOAT
+            out += _FLOAT_PACK(item)
+        else:
+            encoder = get(kind)
+            if encoder is not None:
+                encoder(out, item)
+            else:
+                _encode_fallback(out, item)
+
+
+def _enc_dict(out: bytearray, obj: Any) -> None:
+    out.append(_TAG_DICT)
+    write_varint(out, len(obj))
+    get = _ENCODERS.get
+    for key, value in obj.items():
+        encoder = get(type(key))
+        if encoder is not None:
+            encoder(out, key)
+        else:
+            _encode_fallback(out, key)
+        encoder = get(type(value))
+        if encoder is not None:
+            encoder(out, value)
+        else:
+            _encode_fallback(out, value)
+
+
+def _enc_frozenset(out: bytearray, obj: Any) -> None:
+    out.append(_TAG_FROZENSET)
+    # Canonical element order: sorted by serialised representation.
+    items = sorted(obj, key=encode)
+    write_varint(out, len(items))
+    get = _ENCODERS.get
+    for item in items:
+        encoder = get(type(item))
+        if encoder is not None:
+            encoder(out, item)
+        else:
+            _encode_fallback(out, item)
+
+
+_ENCODERS: dict[type, Callable[[bytearray, Any], None]] = {
+    type(None): _enc_none,
+    bool: _enc_bool,
+    int: _enc_int,
+    float: _enc_float,
+    str: _enc_str,
+    bytes: _enc_bytes,
+    tuple: _enc_tuple,
+    list: _enc_list,
+    dict: _enc_dict,
+    frozenset: _enc_frozenset,
+}
+
+
+def _encode_fallback(out: bytearray, obj: Any) -> None:
+    """Exact-type dispatch missed: subclasses and unsupported types.
+
+    Mirrors the reference implementation's type-check ladder so
+    subclasses (IntEnum, NamedTuples that are not registered
+    extensions, ...) serialise exactly as before.
+    """
+    if obj is None:
+        _enc_none(out, obj)
+    elif isinstance(obj, bool):
+        _enc_bool(out, obj)
+    elif isinstance(obj, int):
+        _enc_int(out, obj)
+    elif isinstance(obj, float):
+        _enc_float(out, obj)
+    elif isinstance(obj, str):
+        _enc_str(out, obj)
+    elif isinstance(obj, bytes):
+        _enc_bytes(out, obj)
+    elif isinstance(obj, tuple):
+        _enc_tuple(out, obj)
+    elif isinstance(obj, list):
+        _enc_list(out, obj)
+    elif isinstance(obj, dict):
+        _enc_dict(out, obj)
+    elif isinstance(obj, frozenset):
+        _enc_frozenset(out, obj)
+    else:
+        raise SerdeError(f"unsupported type: {type(obj).__name__}")
+
+
+def encode_into(out: bytearray, obj: Any) -> None:
+    """Append the serialisation of one object to ``out`` (streaming)."""
+    encoder = _ENCODERS.get(type(obj))
+    if encoder is not None:
+        encoder(out, obj)
+    else:
+        _encode_fallback(out, obj)
+
+
+def _make_ext_encoder(ext_id: int) -> Callable[[bytearray, Any], None]:
+    tag = _TAG_EXT_BASE | ext_id
+
+    def enc(out: bytearray, obj: Any) -> None:
+        out.append(tag)
+        # Same inline scalar chain as _enc_tuple: extension values are
+        # the per-record encodings on the hottest paths.
+        append = out.append
+        get = _ENCODERS.get
+        for item in obj:
+            kind = type(item)
+            if kind is str:
+                raw = item.encode("utf-8")
+                append(0x05)  # _TAG_STR
+                size = len(raw)
+                while size > 0x7F:
+                    append(size & 0x7F | 0x80)
+                    size >>= 7
+                append(size)
+                out += raw
+            elif kind is int:
+                if _INT_LO <= item < _INT_HI:
+                    append(0x03)  # _TAG_INT
+                    value = (item << 1) ^ (item >> 63)
+                    while value > 0x7F:
+                        append(value & 0x7F | 0x80)
+                        value >>= 7
+                    append(value)
+                else:
+                    _enc_int(out, item)
+            elif kind is float:
+                append(0x04)  # _TAG_FLOAT
+                out += _FLOAT_PACK(item)
+            else:
+                encoder = get(kind)
+                if encoder is not None:
+                    encoder(out, item)
+                else:
+                    _encode_fallback(out, item)
+
+    return enc
+
+
+# -- decoding --------------------------------------------------------------
+#
+# A 256-entry dispatch table indexed by the tag byte.  Decoders take
+# ``(data, offset)`` with ``offset`` already past the tag and return
+# ``(value, new_offset)``.  ``data`` may be ``bytes`` or a
+# ``memoryview``; only length-delimited payloads are sliced.  Per-byte
+# reads rely on IndexError for truncation (converted to SerdeError at
+# the public entry points), which keeps the hot loop branch-free.
+
+
+def _read_len(data: Any, offset: int) -> tuple[int, int]:
+    """Inline-friendly varint read for length prefixes."""
+    byte = data[offset]
+    offset += 1
+    if not byte & 0x80:
+        return byte, offset
+    result = byte & 0x7F
+    shift = 7
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise SerdeError("varint too long")
+
+
+def _read_len_cont(data: Any, offset: int, acc: int) -> tuple[int, int]:
+    """Finish a varint whose first byte (`acc`, high bit stripped) had
+    the continuation bit set.  The slow tail of the inline length reads
+    in the hot decoders below."""
+    shift = 7
+    while True:
+        byte = data[offset]
+        offset += 1
+        acc |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return acc, offset
+        shift += 7
+        if shift > 70:
+            raise SerdeError("varint too long")
+
+
+#: Values for the three payload-less tags, indexed by tag byte.
+_SMALL_VALUES = (None, False, True)
+
+
+def _dec_none(data: Any, offset: int) -> tuple[Any, int]:
+    return None, offset
+
+
+def _dec_false(data: Any, offset: int) -> tuple[Any, int]:
+    return False, offset
+
+
+def _dec_true(data: Any, offset: int) -> tuple[Any, int]:
+    return True, offset
+
+
+def _dec_int(data: Any, offset: int) -> tuple[Any, int]:
+    byte = data[offset]
+    offset += 1
+    if not byte & 0x80:
+        return (byte >> 1) ^ -(byte & 1), offset
+    result = byte & 0x7F
+    shift = 7
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return (result >> 1) ^ -(result & 1), offset
+        shift += 7
+        if shift > 70:
+            raise SerdeError("varint too long")
+
+
+def _dec_bigint(data: Any, offset: int) -> tuple[Any, int]:
+    length, offset = _read_len(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise SerdeError("truncated bigint")
+    return int.from_bytes(data[offset:end], "big", signed=True), end
+
+
+def _dec_float(data: Any, offset: int) -> tuple[Any, int]:
+    end = offset + 8
+    if end > len(data):
+        raise SerdeError("truncated float")
+    return _FLOAT_UNPACK_FROM(data, offset)[0], end
+
+
+def _dec_str(data: Any, offset: int) -> tuple[Any, int]:
+    length, offset = _read_len(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise SerdeError("truncated string")
+    try:
+        return str(data[offset:end], "utf-8"), end
+    except UnicodeDecodeError:
+        raise SerdeError("invalid utf-8 in string payload") from None
+
+
+def _dec_bytes(data: Any, offset: int) -> tuple[Any, int]:
+    length, offset = _read_len(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise SerdeError("truncated bytes")
+    return bytes(data[offset:end]), end
+
+
+# The hot container decoders inline the scalar tags in their element
+# loops for the same reason the encoders do: the per-element dispatch
+# (table index + Python call) costs more than decoding a small int or
+# short string.  The inline bodies match _dec_int/_dec_str/_dec_float
+# exactly; keep the four copies (tuple, list, extension,
+# decode_kv_from) in sync.
+
+
+def _dec_tuple(data: Any, offset: int) -> tuple[Any, int]:
+    length, offset = _read_len(data, offset)
+    items = []
+    append = items.append
+    decoders = _DECODERS
+    size = len(data)
+    unpack = _FLOAT_UNPACK_FROM
+    for _ in range(length):
+        tag = data[offset]
+        offset += 1
+        if tag == 0x03:  # _TAG_INT
+            byte = data[offset]
+            offset += 1
+            if byte < 0x80:
+                item = (byte >> 1) ^ -(byte & 1)
+            else:
+                acc = byte & 0x7F
+                shift = 7
+                while True:
+                    byte = data[offset]
+                    offset += 1
+                    acc |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        item = (acc >> 1) ^ -(acc & 1)
+                        break
+                    shift += 7
+                    if shift > 70:
+                        raise SerdeError("varint too long")
+        elif tag == 0x05:  # _TAG_STR
+            n = data[offset]
+            offset += 1
+            if n > 0x7F:
+                n, offset = _read_len_cont(data, offset, n & 0x7F)
+            end = offset + n
+            if end > size:
+                raise SerdeError("truncated string")
+            try:
+                item = str(data[offset:end], "utf-8")
+            except UnicodeDecodeError:
+                raise SerdeError("invalid utf-8 in string payload") from None
+            offset = end
+        elif tag == 0x04:  # _TAG_FLOAT
+            end = offset + 8
+            if end > size:
+                raise SerdeError("truncated float")
+            item = unpack(data, offset)[0]
+            offset = end
+        elif tag <= 0x02:  # _TAG_NONE / _TAG_FALSE / _TAG_TRUE
+            item = _SMALL_VALUES[tag]
+        else:
+            item, offset = decoders[tag](data, offset)
+        append(item)
+    return tuple(items), offset
+
+
+def _dec_list(data: Any, offset: int) -> tuple[Any, int]:
+    length, offset = _read_len(data, offset)
+    items = []
+    append = items.append
+    decoders = _DECODERS
+    size = len(data)
+    unpack = _FLOAT_UNPACK_FROM
+    for _ in range(length):
+        tag = data[offset]
+        offset += 1
+        if tag == 0x03:  # _TAG_INT
+            byte = data[offset]
+            offset += 1
+            if byte < 0x80:
+                item = (byte >> 1) ^ -(byte & 1)
+            else:
+                acc = byte & 0x7F
+                shift = 7
+                while True:
+                    byte = data[offset]
+                    offset += 1
+                    acc |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        item = (acc >> 1) ^ -(acc & 1)
+                        break
+                    shift += 7
+                    if shift > 70:
+                        raise SerdeError("varint too long")
+        elif tag == 0x05:  # _TAG_STR
+            n = data[offset]
+            offset += 1
+            if n > 0x7F:
+                n, offset = _read_len_cont(data, offset, n & 0x7F)
+            end = offset + n
+            if end > size:
+                raise SerdeError("truncated string")
+            try:
+                item = str(data[offset:end], "utf-8")
+            except UnicodeDecodeError:
+                raise SerdeError("invalid utf-8 in string payload") from None
+            offset = end
+        elif tag == 0x04:  # _TAG_FLOAT
+            end = offset + 8
+            if end > size:
+                raise SerdeError("truncated float")
+            item = unpack(data, offset)[0]
+            offset = end
+        elif tag <= 0x02:  # _TAG_NONE / _TAG_FALSE / _TAG_TRUE
+            item = _SMALL_VALUES[tag]
+        else:
+            item, offset = decoders[tag](data, offset)
+        append(item)
+    return items, offset
+
+
+def _dec_frozenset(data: Any, offset: int) -> tuple[Any, int]:
+    length, offset = _read_len(data, offset)
+    items = []
+    append = items.append
+    decoders = _DECODERS
+    for _ in range(length):
+        decoder = decoders[data[offset]]
+        item, offset = decoder(data, offset + 1)
+        append(item)
+    try:
+        return frozenset(items), offset
+    except TypeError:
+        raise SerdeError("unhashable frozenset element") from None
+
+
+def _dec_dict(data: Any, offset: int) -> tuple[Any, int]:
+    length, offset = _read_len(data, offset)
+    result: dict[Any, Any] = {}
+    decoders = _DECODERS
+    try:
+        for _ in range(length):
+            decoder = decoders[data[offset]]
+            key, offset = decoder(data, offset + 1)
+            decoder = decoders[data[offset]]
+            value, offset = decoder(data, offset + 1)
+            result[key] = value
+    except TypeError:
+        raise SerdeError("unhashable dict key") from None
+    return result, offset
+
+
+def _dec_unknown_tag(tag: int) -> Callable[[Any, int], tuple[Any, int]]:
+    def dec(data: Any, offset: int) -> tuple[Any, int]:
+        raise SerdeError(f"unknown tag byte: 0x{tag:02x}")
+
+    return dec
+
+
+def _dec_unregistered_ext(
+    ext_id: int,
+) -> Callable[[Any, int], tuple[Any, int]]:
+    def dec(data: Any, offset: int) -> tuple[Any, int]:
+        raise SerdeError(f"unregistered extension id {ext_id}")
+
+    return dec
+
+
+def _make_ext_decoder(
+    extension: _Extension,
+) -> Callable[[Any, int], tuple[Any, int]]:
+    cls = extension.cls
+    arity = extension.arity
+
+    def dec(data: Any, offset: int) -> tuple[Any, int]:
+        # Same inline scalar chain as _dec_tuple: extension values are
+        # the per-record decodings on the hottest paths.
+        items = []
+        append = items.append
+        decoders = _DECODERS
+        size = len(data)
+        unpack = _FLOAT_UNPACK_FROM
+        for _ in range(arity):
+            tag = data[offset]
+            offset += 1
+            if tag == 0x03:  # _TAG_INT
+                byte = data[offset]
+                offset += 1
+                if byte < 0x80:
+                    item = (byte >> 1) ^ -(byte & 1)
+                else:
+                    acc = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[offset]
+                        offset += 1
+                        acc |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            item = (acc >> 1) ^ -(acc & 1)
+                            break
+                        shift += 7
+                        if shift > 70:
+                            raise SerdeError("varint too long")
+            elif tag == 0x05:  # _TAG_STR
+                n = data[offset]
+                offset += 1
+                if n > 0x7F:
+                    n, offset = _read_len_cont(data, offset, n & 0x7F)
+                end = offset + n
+                if end > size:
+                    raise SerdeError("truncated string")
+                try:
+                    item = str(data[offset:end], "utf-8")
+                except UnicodeDecodeError:
+                    raise SerdeError(
+                        "invalid utf-8 in string payload"
+                    ) from None
+                offset = end
+            elif tag == 0x04:  # _TAG_FLOAT
+                end = offset + 8
+                if end > size:
+                    raise SerdeError("truncated float")
+                item = unpack(data, offset)[0]
+                offset = end
+            elif tag <= 0x02:  # _TAG_NONE / _TAG_FALSE / _TAG_TRUE
+                item = _SMALL_VALUES[tag]
+            else:
+                item, offset = decoders[tag](data, offset)
+            append(item)
+        return cls(*items), offset
+
+    return dec
+
+
+_DECODERS: list[Callable[[Any, int], tuple[Any, int]]] = [
+    _dec_unknown_tag(tag) for tag in range(256)
+]
+_DECODERS[_TAG_NONE] = _dec_none
+_DECODERS[_TAG_FALSE] = _dec_false
+_DECODERS[_TAG_TRUE] = _dec_true
+_DECODERS[_TAG_INT] = _dec_int
+_DECODERS[_TAG_FLOAT] = _dec_float
+_DECODERS[_TAG_STR] = _dec_str
+_DECODERS[_TAG_BYTES] = _dec_bytes
+_DECODERS[_TAG_TUPLE] = _dec_tuple
+_DECODERS[_TAG_LIST] = _dec_list
+_DECODERS[_TAG_DICT] = _dec_dict
+_DECODERS[_TAG_FROZENSET] = _dec_frozenset
+_DECODERS[_TAG_BIGINT] = _dec_bigint
+for _ext_id in range(_MAX_EXTENSIONS):
+    _DECODERS[_TAG_EXT_BASE | _ext_id] = _dec_unregistered_ext(_ext_id)
+del _ext_id
 
 
 def register_extension(ext_id: int, cls: type) -> None:
@@ -80,183 +778,105 @@ def register_extension(ext_id: int, cls: type) -> None:
     extension = _Extension(ext_id, cls, len(fields))
     _EXTENSIONS[ext_id] = extension
     _EXTENSION_BY_CLS[cls] = extension
+    _ENCODERS[cls] = _make_ext_encoder(ext_id)
+    _DECODERS[_TAG_EXT_BASE | ext_id] = _make_ext_decoder(extension)
 
 
-def write_varint(out: bytearray, value: int) -> None:
-    """Append an unsigned LEB128 varint to ``out``."""
-    if value < 0:
-        raise SerdeError(f"varint must be non-negative, got {value}")
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return
+# -- public API ------------------------------------------------------------
 
 
-def read_varint(data: bytes, offset: int) -> tuple[int, int]:
-    """Read an unsigned LEB128 varint; return ``(value, new_offset)``."""
-    result = 0
-    shift = 0
-    while True:
-        if offset >= len(data):
-            raise SerdeError("truncated varint")
-        byte = data[offset]
-        offset += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result, offset
-        shift += 7
-        if shift > 70:
-            raise SerdeError("varint too long")
+def decode_from(data: Any, offset: int = 0) -> tuple[Any, int]:
+    """Decode one object starting at ``offset``; return ``(obj, end)``.
+
+    ``data`` may be ``bytes``, ``bytearray`` or a ``memoryview``; the
+    decoder advances by integer offsets and never slices except to
+    materialise string/bytes/bigint payloads.
+    """
+    try:
+        decoder = _DECODERS[data[offset]]
+        return decoder(data, offset + 1)
+    except IndexError:
+        raise SerdeError("truncated record") from None
 
 
-def _zigzag(value: int) -> int:
-    return (value << 1) ^ (value >> 63)
+def decode_kv_from(data: Any, offset: int = 0) -> tuple[Any, Any, int]:
+    """Decode a key/value record at ``offset``; return ``(k, v, end)``.
 
-
-def _unzigzag(value: int) -> int:
-    return (value >> 1) ^ -(value & 1)
-
-
-def _encode_into(out: bytearray, obj: Any) -> None:
-    extension = _EXTENSION_BY_CLS.get(type(obj))
-    if extension is not None:
-        out.append(_TAG_EXT_BASE | extension.ext_id)
-        for item in obj:
-            _encode_into(out, item)
-        return
-    if obj is None:
-        out.append(_TAG_NONE)
-    elif obj is True:
-        out.append(_TAG_TRUE)
-    elif obj is False:
-        out.append(_TAG_FALSE)
-    elif isinstance(obj, int):
-        if -(1 << 62) <= obj < (1 << 62):
-            out.append(_TAG_INT)
-            write_varint(out, _zigzag(obj))
-        else:
-            raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
-            out.append(_TAG_BIGINT)
-            write_varint(out, len(raw))
-            out.extend(raw)
-    elif isinstance(obj, float):
-        out.append(_TAG_FLOAT)
-        out.extend(_FLOAT_STRUCT.pack(obj))
-    elif isinstance(obj, str):
-        raw = obj.encode("utf-8")
-        out.append(_TAG_STR)
-        write_varint(out, len(raw))
-        out.extend(raw)
-    elif isinstance(obj, bytes):
-        out.append(_TAG_BYTES)
-        write_varint(out, len(obj))
-        out.extend(obj)
-    elif isinstance(obj, tuple):
-        out.append(_TAG_TUPLE)
-        write_varint(out, len(obj))
-        for item in obj:
-            _encode_into(out, item)
-    elif isinstance(obj, list):
-        out.append(_TAG_LIST)
-        write_varint(out, len(obj))
-        for item in obj:
-            _encode_into(out, item)
-    elif isinstance(obj, dict):
-        out.append(_TAG_DICT)
-        write_varint(out, len(obj))
-        for key, value in obj.items():
-            _encode_into(out, key)
-            _encode_into(out, value)
-    elif isinstance(obj, frozenset):
-        out.append(_TAG_FROZENSET)
-        items = sorted(obj, key=lambda item: encode(item))
-        write_varint(out, len(items))
-        for item in items:
-            _encode_into(out, item)
-    else:
-        raise SerdeError(f"unsupported type: {type(obj).__name__}")
-
-
-def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
-    if offset >= len(data):
-        raise SerdeError("truncated record")
-    tag = data[offset]
-    offset += 1
-    if tag & 0xF0 == _TAG_EXT_BASE:
-        extension = _EXTENSIONS.get(tag & 0x0F)
-        if extension is None:
-            raise SerdeError(f"unregistered extension id {tag & 0x0F}")
-        items = []
-        for _ in range(extension.arity):
-            item, offset = _decode_from(data, offset)
-            items.append(item)
-        return extension.cls(*items), offset
-    if tag == _TAG_NONE:
-        return None, offset
-    if tag == _TAG_TRUE:
-        return True, offset
-    if tag == _TAG_FALSE:
-        return False, offset
-    if tag == _TAG_INT:
-        raw, offset = read_varint(data, offset)
-        return _unzigzag(raw), offset
-    if tag == _TAG_BIGINT:
-        length, offset = read_varint(data, offset)
-        end = offset + length
-        return int.from_bytes(data[offset:end], "big", signed=True), end
-    if tag == _TAG_FLOAT:
-        end = offset + 8
-        if end > len(data):
-            raise SerdeError("truncated float")
-        return _FLOAT_STRUCT.unpack_from(data, offset)[0], end
-    if tag == _TAG_STR:
-        length, offset = read_varint(data, offset)
-        end = offset + length
-        if end > len(data):
-            raise SerdeError("truncated string")
-        return data[offset:end].decode("utf-8"), end
-    if tag == _TAG_BYTES:
-        length, offset = read_varint(data, offset)
-        end = offset + length
-        if end > len(data):
-            raise SerdeError("truncated bytes")
-        return bytes(data[offset:end]), end
-    if tag in (_TAG_TUPLE, _TAG_LIST, _TAG_FROZENSET):
-        length, offset = read_varint(data, offset)
-        items = []
-        for _ in range(length):
-            item, offset = _decode_from(data, offset)
-            items.append(item)
-        if tag == _TAG_TUPLE:
-            return tuple(items), offset
-        if tag == _TAG_LIST:
-            return items, offset
-        return frozenset(items), offset
-    if tag == _TAG_DICT:
-        length, offset = read_varint(data, offset)
-        result = {}
-        for _ in range(length):
-            key, offset = _decode_from(data, offset)
-            value, offset = _decode_from(data, offset)
-            result[key] = value
-        return result, offset
-    raise SerdeError(f"unknown tag byte: 0x{tag:02x}")
+    The per-record entry point of every segment/spill scan, so the
+    scalar tags are inlined exactly as in the container decoders.
+    """
+    try:
+        decoders = _DECODERS
+        size = len(data)
+        unpack = _FLOAT_UNPACK_FROM
+        pair = []
+        append = pair.append
+        for _ in (0, 1):
+            tag = data[offset]
+            offset += 1
+            if tag == 0x03:  # _TAG_INT
+                byte = data[offset]
+                offset += 1
+                if byte < 0x80:
+                    item = (byte >> 1) ^ -(byte & 1)
+                else:
+                    acc = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[offset]
+                        offset += 1
+                        acc |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            item = (acc >> 1) ^ -(acc & 1)
+                            break
+                        shift += 7
+                        if shift > 70:
+                            raise SerdeError("varint too long")
+            elif tag == 0x05:  # _TAG_STR
+                n = data[offset]
+                offset += 1
+                if n > 0x7F:
+                    n, offset = _read_len_cont(data, offset, n & 0x7F)
+                end = offset + n
+                if end > size:
+                    raise SerdeError("truncated string")
+                try:
+                    item = str(data[offset:end], "utf-8")
+                except UnicodeDecodeError:
+                    raise SerdeError(
+                        "invalid utf-8 in string payload"
+                    ) from None
+                offset = end
+            elif tag == 0x04:  # _TAG_FLOAT
+                end = offset + 8
+                if end > size:
+                    raise SerdeError("truncated float")
+                item = unpack(data, offset)[0]
+                offset = end
+            elif tag <= 0x02:  # _TAG_NONE / _TAG_FALSE / _TAG_TRUE
+                item = _SMALL_VALUES[tag]
+            else:
+                item, offset = decoders[tag](data, offset)
+            append(item)
+        return pair[0], pair[1], offset
+    except IndexError:
+        raise SerdeError("truncated record") from None
 
 
 def encode(obj: Any) -> bytes:
     """Serialise one object to its binary representation."""
     out = bytearray()
-    _encode_into(out, obj)
+    encoder = _ENCODERS.get(type(obj))
+    if encoder is not None:
+        encoder(out, obj)
+    else:
+        _encode_fallback(out, obj)
     return bytes(out)
 
 
-def decode(data: bytes) -> Any:
+def decode(data: Any) -> Any:
     """Deserialise one object; the buffer must contain exactly one."""
-    obj, offset = _decode_from(data, 0)
+    obj, offset = decode_from(data, 0)
     if offset != len(data):
         raise SerdeError(f"{len(data) - offset} trailing bytes after object")
     return obj
@@ -265,28 +885,281 @@ def decode(data: bytes) -> Any:
 def encode_kv(key: Any, value: Any) -> bytes:
     """Serialise a key/value record (key first, then value)."""
     out = bytearray()
-    _encode_into(out, key)
-    _encode_into(out, value)
+    encode_kv_into(out, key, value)
     return bytes(out)
 
 
-def decode_kv(data: bytes) -> tuple[Any, Any]:
+def encode_kv_into(out: bytearray, key: Any, value: Any) -> int:
+    """Append a key/value record to ``out``; return its size in bytes.
+
+    This is the per-record entry point of the map-side collect path, so
+    the scalar cases are inlined exactly as in the container encoders.
+    """
+    before = len(out)
+    append = out.append
+    get = _ENCODERS.get
+    for item in (key, value):
+        kind = type(item)
+        if kind is str:
+            raw = item.encode("utf-8")
+            append(0x05)  # _TAG_STR
+            size = len(raw)
+            while size > 0x7F:
+                append(size & 0x7F | 0x80)
+                size >>= 7
+            append(size)
+            out += raw
+        elif kind is int:
+            if _INT_LO <= item < _INT_HI:
+                append(0x03)  # _TAG_INT
+                zigzag = (item << 1) ^ (item >> 63)
+                while zigzag > 0x7F:
+                    append(zigzag & 0x7F | 0x80)
+                    zigzag >>= 7
+                append(zigzag)
+            else:
+                _enc_int(out, item)
+        elif kind is float:
+            append(0x04)  # _TAG_FLOAT
+            out += _FLOAT_PACK(item)
+        else:
+            encoder = get(kind)
+            if encoder is not None:
+                encoder(out, item)
+            else:
+                _encode_fallback(out, item)
+    return len(out) - before
+
+
+def decode_kv(data: Any) -> tuple[Any, Any]:
     """Deserialise a key/value record produced by :func:`encode_kv`."""
-    key, offset = _decode_from(data, 0)
-    value, offset = _decode_from(data, offset)
+    key, value, offset = decode_kv_from(data, 0)
     if offset != len(data):
         raise SerdeError(f"{len(data) - offset} trailing bytes after record")
     return key, value
 
 
+# -- framed record streams -------------------------------------------------
+#
+# Segments and spill runs store records as varint(length) + record
+# bytes.  The framing codec lives here with the record codec so the
+# data plane's two hottest loops — write a sorted run, scan a sorted
+# run — are each a single call with no per-record Python function
+# boundaries.
+
+
+def append_record(out: bytearray, key: Any, value: Any) -> int:
+    """Append one varint-framed record to ``out``; return the record's
+    payload size (the framed size is the return plus the prefix width).
+
+    The length prefix is written as a placeholder byte and patched
+    after the record is encoded, so no scratch buffer or intermediate
+    ``bytes`` object is needed.  On a serialisation error ``out`` may
+    be left with a partial record — callers treat that as a failed
+    task attempt, never as a stream to read back.
+    """
+    pos = len(out)
+    out.append(0)
+    length = encode_kv_into(out, key, value)
+    if length > 0x7F:
+        prefix = bytearray()
+        write_varint(prefix, length)
+        out[pos : pos + 1] = prefix
+    else:
+        out[pos] = length
+    return length
+
+
+def decode_stream(data: Any) -> list[tuple[Any, Any]]:
+    """Decode a whole varint-framed record stream into a list of pairs.
+
+    The scan-side twin of :func:`append_record` and the hottest decode
+    loop in the data plane: one Python call decodes an entire segment,
+    walking ``data`` by integer offsets.  The scalar tags and one level
+    of tuple nesting are decoded inline (matching the container
+    decoders byte for byte); everything else dispatches through the
+    tag table.
+    """
+    out: list[tuple[Any, Any]] = []
+    append = out.append
+    decoders = _DECODERS
+    size = len(data)
+    unpack = _FLOAT_UNPACK_FROM
+    small = _SMALL_VALUES
+    offset = 0
+    try:
+        while offset < size:
+            # Frame prefix: advance past it (the payload is
+            # self-describing, so only the width matters here).
+            byte = data[offset]
+            offset += 1
+            if byte > 0x7F:
+                _, offset = _read_len_cont(data, offset, byte & 0x7F)
+            # --- key ---
+            tag = data[offset]
+            offset += 1
+            if tag == 0x05:  # _TAG_STR
+                n = data[offset]
+                offset += 1
+                if n > 0x7F:
+                    n, offset = _read_len_cont(data, offset, n & 0x7F)
+                end = offset + n
+                if end > size:
+                    raise SerdeError("truncated string")
+                try:
+                    key = str(data[offset:end], "utf-8")
+                except UnicodeDecodeError:
+                    raise SerdeError(
+                        "invalid utf-8 in string payload"
+                    ) from None
+                offset = end
+            elif tag == 0x03:  # _TAG_INT
+                byte = data[offset]
+                offset += 1
+                if byte < 0x80:
+                    key = (byte >> 1) ^ -(byte & 1)
+                else:
+                    acc = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[offset]
+                        offset += 1
+                        acc |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            key = (acc >> 1) ^ -(acc & 1)
+                            break
+                        shift += 7
+                        if shift > 70:
+                            raise SerdeError("varint too long")
+            elif tag == 0x04:  # _TAG_FLOAT
+                end = offset + 8
+                if end > size:
+                    raise SerdeError("truncated float")
+                key = unpack(data, offset)[0]
+                offset = end
+            elif tag <= 0x02:  # _TAG_NONE / _TAG_FALSE / _TAG_TRUE
+                key = small[tag]
+            else:
+                key, offset = decoders[tag](data, offset)
+            # --- value (one level of tuple inlined) ---
+            tag = data[offset]
+            offset += 1
+            if tag == 0x07:  # _TAG_TUPLE
+                n2 = data[offset]
+                offset += 1
+                if n2 > 0x7F:
+                    n2, offset = _read_len_cont(data, offset, n2 & 0x7F)
+                items = []
+                iappend = items.append
+                for _ in range(n2):
+                    tag = data[offset]
+                    offset += 1
+                    if tag == 0x03:  # _TAG_INT
+                        byte = data[offset]
+                        offset += 1
+                        if byte < 0x80:
+                            item = (byte >> 1) ^ -(byte & 1)
+                        else:
+                            acc = byte & 0x7F
+                            shift = 7
+                            while True:
+                                byte = data[offset]
+                                offset += 1
+                                acc |= (byte & 0x7F) << shift
+                                if not byte & 0x80:
+                                    item = (acc >> 1) ^ -(acc & 1)
+                                    break
+                                shift += 7
+                                if shift > 70:
+                                    raise SerdeError("varint too long")
+                    elif tag == 0x05:  # _TAG_STR
+                        n = data[offset]
+                        offset += 1
+                        if n > 0x7F:
+                            n, offset = _read_len_cont(
+                                data, offset, n & 0x7F
+                            )
+                        end = offset + n
+                        if end > size:
+                            raise SerdeError("truncated string")
+                        try:
+                            item = str(data[offset:end], "utf-8")
+                        except UnicodeDecodeError:
+                            raise SerdeError(
+                                "invalid utf-8 in string payload"
+                            ) from None
+                        offset = end
+                    elif tag == 0x04:  # _TAG_FLOAT
+                        end = offset + 8
+                        if end > size:
+                            raise SerdeError("truncated float")
+                        item = unpack(data, offset)[0]
+                        offset = end
+                    elif tag <= 0x02:
+                        item = small[tag]
+                    else:
+                        item, offset = decoders[tag](data, offset)
+                    iappend(item)
+                value = tuple(items)
+            elif tag == 0x05:  # _TAG_STR
+                n = data[offset]
+                offset += 1
+                if n > 0x7F:
+                    n, offset = _read_len_cont(data, offset, n & 0x7F)
+                end = offset + n
+                if end > size:
+                    raise SerdeError("truncated string")
+                try:
+                    value = str(data[offset:end], "utf-8")
+                except UnicodeDecodeError:
+                    raise SerdeError(
+                        "invalid utf-8 in string payload"
+                    ) from None
+                offset = end
+            elif tag == 0x03:  # _TAG_INT
+                byte = data[offset]
+                offset += 1
+                if byte < 0x80:
+                    value = (byte >> 1) ^ -(byte & 1)
+                else:
+                    acc = byte & 0x7F
+                    shift = 7
+                    while True:
+                        byte = data[offset]
+                        offset += 1
+                        acc |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            value = (acc >> 1) ^ -(acc & 1)
+                            break
+                        shift += 7
+                        if shift > 70:
+                            raise SerdeError("varint too long")
+            elif tag == 0x04:  # _TAG_FLOAT
+                end = offset + 8
+                if end > size:
+                    raise SerdeError("truncated float")
+                value = unpack(data, offset)[0]
+                offset = end
+            elif tag <= 0x02:
+                value = small[tag]
+            else:
+                value, offset = decoders[tag](data, offset)
+            append((key, value))
+    except IndexError:
+        raise SerdeError("truncated record") from None
+    return out
+
+
 def record_size(key: Any, value: Any) -> int:
     """Exact serialised size in bytes of a key/value record."""
-    return len(encode_kv(key, value))
+    return encode_kv_into(bytearray(), key, value)
 
 
 def sizeof(obj: Any) -> int:
     """Exact serialised size in bytes of a single object."""
-    return len(encode(obj))
+    out = bytearray()
+    encode_into(out, obj)
+    return len(out)
 
 
 def approx_size(obj: Any) -> int:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.mr import counters as C
-from repro.mr import serde
+from repro.mr import fastpath, serde
 from repro.mr.counters import Counters
 
 
@@ -106,6 +106,7 @@ class SpillWriter:
         self._store = store
         self.name = name
         self._buf = bytearray()
+        self._scratch = bytearray()
         self._count = 0
         self._closed = False
 
@@ -113,10 +114,28 @@ class SpillWriter:
         """Append one record; return its on-disk size in bytes."""
         if self._closed:
             raise StorageError(f"spill {self.name} already closed")
-        payload = serde.encode_kv(key, value)
         before = len(self._buf)
-        serde.write_varint(self._buf, len(payload))
-        self._buf.extend(payload)
+        serde.append_record(self._buf, key, value)
+        self._count += 1
+        return len(self._buf) - before
+
+    def append_parts(self, key_bytes: bytes, value) -> int:
+        """Append one record whose key is already serialised.
+
+        The ``Shared`` spill path caches each entry's encoded key once
+        and reuses it for every value in the group, instead of
+        re-encoding the key per record.  Byte-identical to
+        :meth:`append`.
+        """
+        if self._closed:
+            raise StorageError(f"spill {self.name} already closed")
+        scratch = self._scratch
+        scratch.clear()
+        serde.encode_into(scratch, value)
+        before = len(self._buf)
+        serde.write_varint(self._buf, len(key_bytes) + len(scratch))
+        self._buf.extend(key_bytes)
+        self._buf.extend(scratch)
         self._count += 1
         return len(self._buf) - before
 
@@ -154,6 +173,9 @@ class SpillFile:
     def scan(self) -> Iterator[tuple[object, object]]:
         """Yield records in stored (sorted) order; charges one full read."""
         data = self._store.read_file(self.name)
+        if fastpath.enabled():
+            yield from serde.decode_stream(data)
+            return
         offset = 0
         while offset < len(data):
             length, offset = serde.read_varint(data, offset)

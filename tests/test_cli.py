@@ -208,3 +208,59 @@ class TestTrace:
     def test_trace_missing_file(self, capsys, tmp_path) -> None:
         assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
         assert "no such trace file" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_single_suite(self, capsys) -> None:
+        assert main(["bench", "--quick", "--suite", "executor"]) == 0
+        out = capsys.readouterr().out
+        assert "executor.oob" in out
+
+    def test_bench_unknown_suite(self, capsys) -> None:
+        assert main(["bench", "--suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_bench_check_passes_against_committed(
+        self, capsys, tmp_path, monkeypatch
+    ) -> None:
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH_hotpaths.json").write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "benchmarks": {
+                        "executor.oob": {"current_s": 1e9, "baseline_s": 1e9}
+                    },
+                }
+            )
+        )
+        assert main(["bench", "--quick", "--suite", "executor", "--check"]) == 0
+        assert "no perf regressions" in capsys.readouterr().err
+
+    def test_bench_check_flags_regression(
+        self, capsys, tmp_path, monkeypatch
+    ) -> None:
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH_hotpaths.json").write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "benchmarks": {
+                        "executor.oob": {"current_s": 1e-12, "baseline_s": 1e-12}
+                    },
+                }
+            )
+        )
+        assert main(["bench", "--quick", "--suite", "executor", "--check"]) == 1
+        assert "executor.oob" in capsys.readouterr().err
+
+    def test_bench_check_requires_committed_file(
+        self, capsys, tmp_path, monkeypatch
+    ) -> None:
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick", "--suite", "executor", "--check"]) == 2
+        assert "BENCH_hotpaths.json" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Golden test: the data-plane fast paths never change what is counted.
+
+The perf series (zero-copy serde, cached sort keys, raw-key merges,
+out-of-band shuffle) promises that every optimisation changes only
+*how* Python does the work, never how much accounted work is done:
+bytes, records, comparisons and spills must be **bit-identical** with
+the fast paths on or off, and therefore so must every analytic cost.
+
+This test runs the Figure 9 workload — all four strategies crossed
+with all three partitioners, with a sort buffer small enough to force
+map-side spills and multi-pass merges — once with the fast paths
+enabled and once with them disabled, and diffs every counter.
+
+Only the measured-CPU counters are excluded: those are wall-clock
+*measurements* of user/framework code (that the fast paths exist to
+shrink), not analytic charges.  ``cpu.framework.seconds`` is analytic
+and is included in the diff.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.datagen.qlog import generate_query_log
+from repro.experiments.common import measure_job, strategy_variants
+from repro.experiments.fig09_map_output import STRATEGIES, partitioner_lineup
+from repro.mr import fastpath
+from repro.mr.split import split_records
+from repro.workloads.query_suggestion import query_suggestion_job
+
+#: Wall-clock measurements of user/codec code — the only counters the
+#: fast paths are *allowed* (indeed expected) to change.
+MEASURED_CPU_PREFIXES = (
+    "cpu.map.seconds",
+    "cpu.reduce.seconds",
+    "cpu.combine.seconds",
+    "cpu.partition.seconds",
+    "cpu.codec.seconds",
+)
+
+NUM_QUERIES = 600
+NUM_REDUCERS = 3
+NUM_SPLITS = 4
+#: Small enough that every map task spills and merges multiple runs.
+SORT_BUFFER_BYTES = 4096
+
+
+@lru_cache(maxsize=1)
+def _splits():
+    records = generate_query_log(NUM_QUERIES, seed=42)
+    return split_records(records, num_splits=NUM_SPLITS)
+
+
+def _analytic_counters(run) -> dict:
+    return {
+        name: value
+        for name, value in run.result.counters.as_dict().items()
+        if not name.startswith(MEASURED_CPU_PREFIXES)
+    }
+
+
+def _measure(job, flag: bool):
+    with fastpath.forced(flag):
+        return measure_job("invariance", job, _splits())
+
+
+@pytest.mark.parametrize("part_name", list(partitioner_lineup()))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_counters_identical_fast_on_and_off(part_name, strategy) -> None:
+    partitioner = partitioner_lineup()[part_name]
+    job = strategy_variants(
+        query_suggestion_job(
+            num_reducers=NUM_REDUCERS,
+            partitioner=partitioner,
+            sort_buffer_bytes=SORT_BUFFER_BYTES,
+        )
+    )[strategy]
+
+    reference = _measure(job, False)
+    fast = _measure(job, True)
+
+    ref_counters = _analytic_counters(reference)
+    fast_counters = _analytic_counters(fast)
+    diff = {
+        name: (ref_counters.get(name), fast_counters.get(name))
+        for name in set(ref_counters) | set(fast_counters)
+        if ref_counters.get(name) != fast_counters.get(name)
+    }
+    assert not diff, f"{part_name}/{strategy} counter drift: {diff}"
+    assert reference.result.sorted_output() == fast.result.sorted_output()
+
+    # The workload must actually exercise the spill/merge paths for the
+    # invariance to mean anything.
+    assert any(
+        "spill" in name and value for name, value in ref_counters.items()
+    ), "test inputs no longer force spills — shrink sort_buffer_bytes"
