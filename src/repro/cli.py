@@ -285,12 +285,14 @@ def _cmd_run(
             result = fn(**kwargs_by_name[exp_name])
             print(result.report())
     finally:
+        # Flush whatever was traced even when an experiment raises:
+        # a post-mortem is exactly when the partial trace matters.
         if collector is not None:
             from repro.obs.trace import clear_trace_collector
 
             clear_trace_collector()
-    if collector is not None and trace_path is not None:
-        _write_traces(trace_path, collector)
+            if trace_path is not None:
+                _write_traces(trace_path, collector)
     return 0
 
 

@@ -33,12 +33,15 @@ from repro.mr.executor import (
     create_executor,
 )
 from repro.mr.runtime_model import ClusterModel
+from repro.mr.executor import WorkerCrashError
 from repro.mr.scheduler import (
     FaultPolicy,
     JobScheduler,
     NoFaults,
+    RetryPolicy,
     ScriptedFaults,
     TaskFailedError,
+    TaskTimeoutError,
 )
 from repro.mr.split import split_records
 
@@ -61,10 +64,13 @@ __all__ = [
     "ParallelExecutor",
     "Partitioner",
     "Reducer",
+    "RetryPolicy",
     "ScriptedFaults",
     "SerialExecutor",
     "TaskEvent",
     "TaskFailedError",
+    "TaskTimeoutError",
+    "WorkerCrashError",
     "available_codecs",
     "create_executor",
     "default_comparator",

@@ -82,6 +82,30 @@ class JobConf:
     #: Attempts per task before the job fails (1 = fail fast, no
     #: retry — Hadoop's ``mapred.map.max.attempts`` analogue).
     max_task_attempts: int = 1
+    #: Wall-clock budget of one task attempt, in seconds; an attempt
+    #: exceeding it is cancelled (or abandoned, if already running) and
+    #: retried like a failure, with a TIMEOUT event in the job's event
+    #: log — Hadoop's ``mapred.task.timeout`` analogue.  ``None``
+    #: disables timeouts.  Only asynchronous executors can time out;
+    #: the serial executor completes every attempt inline.
+    task_timeout_seconds: float | None = None
+    #: Base delay before re-running a failed/timed-out attempt.  The
+    #: delay doubles per retry of the same task (attempt 2 waits the
+    #: base, attempt 3 twice that, ...), so a systematically failing
+    #: task backs off exponentially and deterministically.  0 retries
+    #: immediately (the historical behaviour).
+    retry_backoff_seconds: float = 0.0
+    #: Launch speculative backup attempts for stragglers (Hadoop's
+    #: ``mapred.*.tasks.speculative.execution``).  The first attempt to
+    #: finish wins; the loser is killed and its counters discarded, so
+    #: analytic counters stay bit-identical with speculation on or off.
+    speculative_execution: bool = False
+    #: A wave must be at least this fraction complete before backups
+    #: launch (enough finished tasks to estimate a typical duration).
+    speculative_quantile: float = 0.75
+    #: A running attempt is a straggler when it has run longer than
+    #: this multiple of the median successful duration in its wave.
+    speculative_slack: float = 2.0
 
     #: CPU meter wrapping user-function calls.
     cost_meter: CostMeter = field(default_factory=PerfCounterMeter)
@@ -119,6 +143,19 @@ class JobConf:
             raise JobConfError("max_workers must be >= 1 (or None)")
         if self.max_task_attempts < 1:
             raise JobConfError("max_task_attempts must be >= 1")
+        if (
+            self.task_timeout_seconds is not None
+            and self.task_timeout_seconds <= 0
+        ):
+            raise JobConfError(
+                "task_timeout_seconds must be > 0 (or None to disable)"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise JobConfError("retry_backoff_seconds must be >= 0")
+        if not 0 < self.speculative_quantile <= 1:
+            raise JobConfError("speculative_quantile must be in (0, 1]")
+        if self.speculative_slack < 1:
+            raise JobConfError("speculative_slack must be >= 1")
         # Fail fast on unknown codec names.
         get_codec(self.map_output_codec)
 

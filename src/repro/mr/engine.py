@@ -154,11 +154,17 @@ class LocalJobRunner:
         fault_policy: FaultPolicy | None = None,
         max_attempts: int | None = None,
         tracer: Tracer | NullTracer | None = None,
+        clock: Any = None,
+        sleep: Any = None,
     ):
         self._executor = executor
         self._fault_policy = fault_policy
         self._max_attempts = max_attempts
         self._tracer = tracer
+        # Injectable time sources, handed to the scheduler so tests can
+        # drive timeouts/backoff/speculation with a deterministic clock.
+        self._clock = clock
+        self._sleep = sleep
 
     def _resolve_executor(self, job: JobConf) -> tuple[Executor, bool]:
         """The executor for ``job`` and whether this run owns it."""
@@ -192,6 +198,8 @@ class LocalJobRunner:
             fault_policy=self._fault_policy,
             max_attempts=self._max_attempts,
             tracer=tracer,
+            clock=self._clock,
+            sleep=self._sleep,
         )
         try:
             result = scheduler.execute(job, splits)

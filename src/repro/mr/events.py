@@ -28,6 +28,20 @@ REDUCE = "reduce"
 START = "start"
 FINISH = "finish"
 FAIL = "fail"
+#: The attempt exceeded ``JobConf.task_timeout_seconds`` and was
+#: cancelled or abandoned by the scheduler; it is retried like a
+#: failure.
+TIMEOUT = "timeout"
+#: The attempt lost a speculative race (another attempt of the same
+#: task finished first) and was killed; its counters are discarded.
+KILLED = "killed"
+
+#: Event types that end an attempt (exactly one per START).
+ATTEMPT_ENDS = (FINISH, FAIL, TIMEOUT, KILLED)
+
+#: ``TaskEvent.error`` prefix marking an infrastructure failure (a
+#: crashed worker process took the attempt down, not the task's code).
+WORKER_CRASH_PREFIX = "WorkerCrashError"
 
 
 @dataclass(frozen=True)
@@ -36,7 +50,7 @@ class TaskEvent:
 
     task_id: str
     kind: str  # MAP | REDUCE
-    event: str  # START | FINISH | FAIL
+    event: str  # START | FINISH | FAIL | TIMEOUT | KILLED
     attempt: int
     #: Seconds since the job started (scheduler wall clock).
     t_seconds: float
@@ -46,6 +60,15 @@ class TaskEvent:
     output_bytes: int = 0
     #: Error description (FAIL events only).
     error: str = ""
+    #: True on the START of a speculative backup attempt.
+    speculative: bool = False
+
+    @property
+    def is_worker_crash(self) -> bool:
+        """Whether this FAIL was an infrastructure (worker) death."""
+        return self.event == FAIL and self.error.startswith(
+            WORKER_CRASH_PREFIX
+        )
 
 
 class EventLog:
@@ -83,6 +106,40 @@ class EventLog:
             if e.event == FAIL and (kind is None or e.kind == kind)
         ]
 
+    def timeouts(self, kind: str | None = None) -> list[TaskEvent]:
+        """All TIMEOUT events (optionally restricted to one task kind)."""
+        return [
+            e
+            for e in self._events
+            if e.event == TIMEOUT and (kind is None or e.kind == kind)
+        ]
+
+    def kills(self, kind: str | None = None) -> list[TaskEvent]:
+        """All KILLED events — speculative losers."""
+        return [
+            e
+            for e in self._events
+            if e.event == KILLED and (kind is None or e.kind == kind)
+        ]
+
+    def worker_crashes(self, kind: str | None = None) -> list[TaskEvent]:
+        """FAIL events caused by worker deaths (infrastructure)."""
+        return [
+            e
+            for e in self.failures(kind)
+            if e.is_worker_crash
+        ]
+
+    def speculative_starts(self, kind: str | None = None) -> list[TaskEvent]:
+        """START events of speculative backup attempts."""
+        return [
+            e
+            for e in self._events
+            if e.event == START
+            and e.speculative
+            and (kind is None or e.kind == kind)
+        ]
+
     def wall_durations(self, kind: str) -> dict[str, float]:
         """Measured wall seconds of each *successful* attempt, by task.
 
@@ -106,10 +163,12 @@ class EventLog:
     def attempt_wall_durations(self, kind: str) -> list[float]:
         """Measured wall seconds of *every* attempt, failed ones too.
 
-        Each attempt's duration is its START→FINISH/FAIL interval; the
-        list is in attempt-completion order.  Unlike
-        :meth:`wall_durations` this includes failed attempts — the slot
-        time retries wasted — so runtime estimates can charge them.
+        Each attempt's duration is its START→end interval, where the
+        end is whichever of FINISH/FAIL/TIMEOUT/KILLED closed the
+        attempt; the list is in attempt-completion order.  Unlike
+        :meth:`wall_durations` this includes unsuccessful attempts —
+        the slot time retries, hangs and speculative losers occupied —
+        so runtime estimates can charge them.
         """
         starts: dict[tuple[str, int], float] = {}
         durations: list[float] = []
@@ -118,7 +177,7 @@ class EventLog:
                 continue
             if event.event == START:
                 starts[(event.task_id, event.attempt)] = event.t_seconds
-            elif event.event in (FINISH, FAIL):
+            elif event.event in ATTEMPT_ENDS:
                 begin = starts.pop((event.task_id, event.attempt), None)
                 if begin is not None:
                     durations.append(event.t_seconds - begin)

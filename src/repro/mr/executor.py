@@ -39,6 +39,19 @@ class ExecutorError(RuntimeError):
     """Raised for executor misconfiguration or infrastructure failure."""
 
 
+class WorkerCrashError(ExecutorError):
+    """The execution infrastructure (not the task) died.
+
+    Raised when a pool worker process terminates abruptly (``os._exit``,
+    a segfault, the OOM killer): ``concurrent.futures`` then marks the
+    whole pool broken, every in-flight future fails, and new submissions
+    are rejected.  The scheduler classifies this error separately from
+    task failures — the pool is rebuilt via :meth:`Executor.rebuild`
+    and the lost attempts are re-driven as retries instead of killing
+    the job.
+    """
+
+
 # -- out-of-band buffer transport ------------------------------------------
 #
 # Task arguments and results carry large segment payloads (the map
@@ -115,6 +128,19 @@ class TaskFuture:
         """Block until the attempt finishes; return or raise its outcome."""
         raise NotImplementedError
 
+    def done(self) -> bool:
+        """Whether :meth:`result` would return without blocking."""
+        raise NotImplementedError
+
+    def cancel(self) -> bool:
+        """Try to prevent the attempt from running; True on success.
+
+        A running attempt cannot be cancelled (mirroring
+        ``concurrent.futures``); the scheduler then *abandons* it —
+        the eventual result is ignored.
+        """
+        return False
+
 
 class CompletedFuture(TaskFuture):
     """An already-resolved future (the serial executor's currency)."""
@@ -128,6 +154,9 @@ class CompletedFuture(TaskFuture):
             raise self._error
         return self._value
 
+    def done(self) -> bool:
+        return True
+
 
 class Executor:
     """Runs submitted task attempts; see module docstring."""
@@ -140,6 +169,20 @@ class Executor:
 
     def submit(self, fn: Callable[..., Any], /, *args: Any) -> TaskFuture:
         raise NotImplementedError
+
+    def rebuild(self) -> bool:
+        """Recover from an infrastructure failure; True if anything was
+        rebuilt.  In-process executors have no infrastructure, so the
+        default is a no-op — the scheduler's crash-recovery path still
+        works against them (simulated crashes surface as
+        :class:`WorkerCrashError` results)."""
+        return False
+
+    def abandon(self, future: TaskFuture) -> None:
+        """Record that the scheduler gave up on ``future`` (a timed-out
+        attempt that could not be cancelled).  The result will never be
+        consumed; executors may use this to avoid waiting on hung
+        workers at :meth:`close` time."""
 
     def close(self) -> None:
         """Release executor resources (idempotent)."""
@@ -172,10 +215,23 @@ class _PoolFuture(TaskFuture):
         self._future = future
 
     def result(self) -> Any:
-        value = self._future.result()
+        from concurrent.futures import BrokenExecutor
+
+        try:
+            value = self._future.result()
+        except BrokenExecutor as exc:
+            raise WorkerCrashError(
+                f"worker process died; pool is broken ({exc})"
+            ) from exc
         if isinstance(value, _OobEnvelope):
             return loads_oob(value.stream, value.buffers)
         return value
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        return self._future.cancel()
 
 
 def _invoke_oob(fn: Callable[..., Any], stream: bytes, buffers: list[bytes]) -> Any:
@@ -195,31 +251,81 @@ class ParallelExecutor(Executor):
     requires_pickling = True
 
     def __init__(self, max_workers: int | None = None):
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
-
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers < 1:
             raise ExecutorError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self._pool = self._make_pool()
+        self._abandoned: list[TaskFuture] = []
+        self._closed = False
+
+    def _make_pool(self) -> Any:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
         context = None
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
-        self._pool = ProcessPoolExecutor(
-            max_workers=max_workers, mp_context=context
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers, mp_context=context
         )
-        self._closed = False
 
     def submit(self, fn: Callable[..., Any], /, *args: Any) -> TaskFuture:
+        from concurrent.futures import BrokenExecutor
+
         if self._closed:
             raise ExecutorError("executor already closed")
         stream, buffers = dumps_oob(args)
-        return _PoolFuture(self._pool.submit(_invoke_oob, fn, stream, buffers))
+        try:
+            return _PoolFuture(
+                self._pool.submit(_invoke_oob, fn, stream, buffers)
+            )
+        except BrokenExecutor as exc:
+            raise WorkerCrashError(
+                f"worker process died; pool rejects submissions ({exc})"
+            ) from exc
+
+    def rebuild(self) -> bool:
+        """Replace the pool with a fresh one (crash/hang recovery).
+
+        Leftover worker processes of the old pool are terminated so a
+        hung worker cannot pin its slot (or the interpreter at exit);
+        any in-flight futures of the old pool are lost — the scheduler
+        re-drives their attempts.
+        """
+        if self._closed:
+            raise ExecutorError("executor already closed")
+        old = self._pool
+        # Kill the old workers before shutdown: a hung or wedged worker
+        # would otherwise keep `shutdown(wait=True)` from ever finishing
+        # at interpreter exit.  `_processes` is a private map, but this
+        # is the accepted way to hard-stop a ProcessPoolExecutor.
+        for process in list(getattr(old, "_processes", {}).values()):
+            if process.is_alive():
+                process.terminate()
+        old.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool()
+        self._abandoned = []
+        return True
+
+    def abandon(self, future: TaskFuture) -> None:
+        self._abandoned.append(future)
 
     def close(self) -> None:
-        if not self._closed:
-            self._closed = True
+        if self._closed:
+            return
+        self._closed = True
+        if any(not future.done() for future in self._abandoned):
+            # A hung worker is still holding an abandoned attempt; a
+            # graceful shutdown would block on it indefinitely.
+            for process in list(
+                getattr(self._pool, "_processes", {}).values()
+            ):
+                if process.is_alive():
+                    process.terminate()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        else:
             self._pool.shutdown(wait=True)
 
 
@@ -291,14 +397,21 @@ def configure_from_env(environ: Any = None) -> bool:
 
 
 def default_executor_spec() -> tuple[str, int | None] | None:
-    """The active override (explicit call wins over the environment)."""
+    """The active override (explicit call wins over the environment).
+
+    A malformed ``REPRO_JOBS`` raises :class:`ExecutorError`, exactly
+    like :func:`configure_from_env` — silently ignoring it here would
+    run the job serially while the user believes it is parallel.
+    """
     if _default_override is not None:
         return _default_override
     raw = os.environ.get(JOBS_ENV_VAR, "").strip()
     if raw:
         try:
             jobs = int(raw)
-        except ValueError:
-            return None
+        except ValueError as exc:
+            raise ExecutorError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from exc
         return (PROCESS, jobs) if jobs > 1 else (SERIAL, None)
     return None

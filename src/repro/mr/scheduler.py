@@ -18,7 +18,10 @@ shuffle plan is a pure function of the map results.
 
 from __future__ import annotations
 
+import os
+import statistics
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.mr import counters as C
@@ -26,12 +29,23 @@ from repro.mr import events as E
 from repro.mr.config import JobConf
 from repro.mr.counters import Counters
 from repro.mr.events import EventLog, TaskEvent
-from repro.mr.executor import Executor, SerialExecutor, check_picklable
+from repro.mr.executor import (
+    CompletedFuture,
+    Executor,
+    SerialExecutor,
+    TaskFuture,
+    WorkerCrashError,
+    check_picklable,
+)
 from repro.mr.maptask import MapTask, MapTaskResult
 from repro.mr.reducetask import ReduceTask, ReduceTaskResult
 from repro.mr.runtime_model import TaskCost
 from repro.mr.segment import SegmentPayload
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    ATTEMPT_OUTCOMES,
+    MetricsRegistry,
+    attempt_outcome_counter,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -41,6 +55,9 @@ from repro.obs.trace import (
 )
 
 Record = tuple[Any, Any]
+
+#: Seconds between polls of in-flight futures when nothing is ready.
+_POLL_TICK = 0.002
 
 
 class InjectedTaskFailure(RuntimeError):
@@ -91,18 +108,66 @@ class TaskFailedError(RuntimeError):
         self.cause = cause
 
 
+class TaskTimeoutError(RuntimeError):
+    """A task attempt exceeded ``JobConf.task_timeout_seconds``."""
+
+    def __init__(self, task_id: str, attempt: int, timeout_seconds: float):
+        super().__init__(
+            f"task {task_id} attempt {attempt} exceeded the "
+            f"{timeout_seconds}s task timeout"
+        )
+        self.task_id = task_id
+        self.attempt = attempt
+        self.timeout_seconds = timeout_seconds
+
+
+# -- fault injection --------------------------------------------------------
+
+#: Fault kinds a :class:`FaultPolicy` can inject into an attempt.
+FAULT_FAIL = "fail"  # raise InjectedTaskFailure (a task failure)
+FAULT_CRASH = "crash"  # kill the worker process via os._exit
+FAULT_HANG = "hang"  # sleep long enough to trip the task timeout
+FAULT_SLOW = "slow"  # sleep briefly, then run (a straggler)
+FAULT_KINDS = (FAULT_FAIL, FAULT_CRASH, FAULT_HANG, FAULT_SLOW)
+
+#: Default sleep, per fault kind, when a script gives a bare kind name.
+FAULT_DELAY_DEFAULTS = {
+    FAULT_FAIL: 0.0,
+    FAULT_CRASH: 0.0,
+    FAULT_HANG: 30.0,
+    FAULT_SLOW: 0.25,
+}
+
+#: A scripted fault: ``(kind, seconds)``.  A plain tuple so it crosses
+#: the process-executor boundary as cheaply as the rest of the attempt
+#: arguments.
+FaultSpec = tuple
+
+
 class FaultPolicy:
-    """Decides which task attempts to kill (before they run).
+    """Decides which task attempts to sabotage (before they run).
 
     The base policy injects no faults.  The policy is consulted in the
-    scheduling process; the kill itself happens inside the worker (the
-    attempt raises :class:`InjectedTaskFailure`), so the full
-    cross-executor failure path — including pickled exceptions from
-    worker processes — is exercised.
+    scheduling process; the sabotage itself happens inside the worker
+    (the attempt raises, dies, or sleeps), so the full cross-executor
+    failure path — pickled exceptions, broken pools, abandoned futures
+    — is exercised for real.
+
+    Policies may override either :meth:`should_fail` (legacy: plain
+    task failures only) or :meth:`fault_for` (full fault-kind control).
     """
 
     def should_fail(self, kind: str, task_id: str, attempt: int) -> bool:
         return False
+
+    def fault_for(
+        self, kind: str, task_id: str, attempt: int
+    ) -> FaultSpec | None:
+        """The fault to inject into this attempt, or ``None`` to run it
+        clean.  The default consults :meth:`should_fail`."""
+        if self.should_fail(kind, task_id, attempt):
+            return (FAULT_FAIL, 0.0)
+        return None
 
 
 class NoFaults(FaultPolicy):
@@ -115,17 +180,58 @@ class ScriptedFaults(FaultPolicy):
     ``fail_first`` maps a task id to the number of its leading attempts
     to kill: ``{"map0": 1}`` kills ``map0``'s first attempt only, so
     attempt 2 succeeds.
+
+    ``faults`` scripts arbitrary fault kinds per attempt: it maps a
+    task id to a sequence whose n-th entry is the fault for attempt n —
+    a kind name (``"crash"``, ``"hang"``, ``"slow"``, ``"fail"``), a
+    ``(kind, seconds)`` tuple for the sleeping kinds, or ``None`` for a
+    clean attempt.  Attempts beyond the sequence run clean, so
+    ``{"map0": ["crash"]}`` crashes the worker running ``map0``'s first
+    attempt and lets attempt 2 succeed.
+
+    Every injected fault is recorded in :attr:`injected` as
+    ``(task_id, attempt, kind)``, in injection order.
     """
 
-    def __init__(self, fail_first: Mapping[str, int]):
-        self._fail_first = dict(fail_first)
-        self.injected: list[tuple[str, int]] = []
+    def __init__(
+        self,
+        fail_first: Mapping[str, int] | None = None,
+        faults: Mapping[str, Sequence[Any]] | None = None,
+    ):
+        self._fail_first = dict(fail_first or {})
+        self._faults: dict[str, list[FaultSpec | None]] = {}
+        for task_id, script in (faults or {}).items():
+            entries: list[FaultSpec | None] = []
+            for raw in script:
+                if raw is None:
+                    entries.append(None)
+                    continue
+                if isinstance(raw, str):
+                    fault_kind, seconds = raw, FAULT_DELAY_DEFAULTS.get(raw)
+                else:
+                    fault_kind, seconds = raw[0], float(raw[1])
+                if fault_kind not in FAULT_KINDS:
+                    known = ", ".join(FAULT_KINDS)
+                    raise ValueError(
+                        f"unknown fault kind {fault_kind!r}; known: {known}"
+                    )
+                entries.append((fault_kind, seconds))
+            self._faults[task_id] = entries
+        self.injected: list[tuple[str, int, str]] = []
 
-    def should_fail(self, kind: str, task_id: str, attempt: int) -> bool:
-        if attempt <= self._fail_first.get(task_id, 0):
-            self.injected.append((task_id, attempt))
-            return True
-        return False
+    def fault_for(
+        self, kind: str, task_id: str, attempt: int
+    ) -> FaultSpec | None:
+        spec: FaultSpec | None = None
+        script = self._faults.get(task_id)
+        if script is not None:
+            if attempt <= len(script):
+                spec = script[attempt - 1]
+        elif attempt <= self._fail_first.get(task_id, 0):
+            spec = (FAULT_FAIL, 0.0)
+        if spec is not None:
+            self.injected.append((task_id, attempt, spec[0]))
+        return spec
 
 
 # -- task attempt bodies (module-level: they must pickle) ------------------
@@ -144,15 +250,48 @@ class ScriptedFaults(FaultPolicy):
 # attempts are never re-embedded in a nested pickle stream.
 
 
+def _execute_fault(fault: FaultSpec | None, task_id: str) -> None:
+    """Carry out an injected fault inside the attempt body.
+
+    * ``fail`` raises :class:`InjectedTaskFailure` — an ordinary task
+      failure.
+    * ``crash`` kills the hosting worker process with ``os._exit`` (no
+      cleanup, no exception — exactly like a segfault or the OOM
+      killer), which breaks the whole pool.  Under the serial executor
+      there is no worker to kill, so the crash surfaces as the
+      :class:`~repro.mr.executor.WorkerCrashError` the broken pool
+      would have produced — the scheduler's recovery path is identical
+      either way.
+    * ``hang`` / ``slow`` sleep for the scripted seconds and then run
+      the attempt normally: a hang is meant to outlive the task
+      timeout, a slow attempt to trail its wave and trigger
+      speculation.
+    """
+    if fault is None:
+        return
+    fault_kind, seconds = fault
+    if fault_kind == FAULT_CRASH:
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(13)
+        raise WorkerCrashError(
+            f"injected worker crash running {task_id} (serial executor)"
+        )
+    if fault_kind in (FAULT_HANG, FAULT_SLOW):
+        time.sleep(seconds)
+        return
+    raise InjectedTaskFailure(f"injected fault: {task_id}")
+
+
 def _run_map_attempt(
     job: JobConf,
     task_id: str,
     split: list[Record],
-    inject_fault: bool,
+    fault: FaultSpec | None,
     trace: bool = False,
 ) -> MapTaskResult:
-    if inject_fault:
-        raise InjectedTaskFailure(f"injected fault: {task_id}")
+    _execute_fault(fault, task_id)
     counters = Counters()
     tracer = Tracer() if trace else NULL_TRACER
     try:
@@ -170,11 +309,10 @@ def _run_reduce_attempt(
     job: JobConf,
     partition: int,
     payloads: list[SegmentPayload],
-    inject_fault: bool,
+    fault: FaultSpec | None,
     trace: bool = False,
 ) -> ReduceTaskResult:
-    if inject_fault:
-        raise InjectedTaskFailure(f"injected fault: reduce{partition}")
+    _execute_fault(fault, f"reduce{partition}")
     counters = Counters()
     tracer = Tracer() if trace else NULL_TRACER
     try:
@@ -190,6 +328,51 @@ def _run_reduce_attempt(
     return result
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The fault-tolerance envelope one wave runs under.
+
+    Assembled by :meth:`JobScheduler.execute` from the job's knobs (and
+    the scheduler's ``max_attempts`` override); pure data so tests can
+    drive :meth:`JobScheduler._run_wave` directly.
+    """
+
+    max_attempts: int = 1
+    task_timeout_seconds: float | None = None
+    retry_backoff_seconds: float = 0.0
+    speculative_execution: bool = False
+    speculative_quantile: float = 0.75
+    speculative_slack: float = 2.0
+
+    def backoff_delay(self, failures: int) -> float:
+        """Seconds to wait before the retry following the given number
+        of charged failures of one task: base × 2^(failures-1).
+        Deterministic — no jitter; tests inject the clock."""
+        if self.retry_backoff_seconds <= 0 or failures < 1:
+            return 0.0
+        return self.retry_backoff_seconds * (2.0 ** (failures - 1))
+
+
+class _Attempt:
+    """One in-flight task attempt (scheduler-side bookkeeping)."""
+
+    __slots__ = ("index", "number", "future", "started_at", "speculative")
+
+    def __init__(
+        self,
+        index: int,
+        number: int,
+        future: TaskFuture,
+        started_at: float,
+        speculative: bool = False,
+    ):
+        self.index = index
+        self.number = number
+        self.future = future
+        self.started_at = started_at
+        self.speculative = speculative
+
+
 class JobScheduler:
     """Executes one job's task graph on an :class:`Executor`."""
 
@@ -199,11 +382,17 @@ class JobScheduler:
         fault_policy: FaultPolicy | None = None,
         max_attempts: int | None = None,
         tracer: Tracer | NullTracer | None = None,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
     ):
         self._executor = executor if executor is not None else SerialExecutor()
         self._policy = fault_policy if fault_policy is not None else NoFaults()
         self._max_attempts = max_attempts
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        # Injectable time sources: tests drive timeouts, backoff and
+        # speculation deterministically with a fake clock/sleep pair.
+        self._clock = clock if clock is not None else time.monotonic
+        self._sleep = sleep if sleep is not None else time.sleep
 
     # -- wave execution ----------------------------------------------------
     def _run_wave(
@@ -211,118 +400,420 @@ class JobScheduler:
         kind: str,
         task_ids: Sequence[str],
         fn: Callable[..., Any],
-        args_for: Callable[[int, bool], tuple],
-        max_attempts: int,
+        args_for: Callable[[int, Any], tuple],
+        policy: RetryPolicy,
         events: EventLog,
         clock: Callable[[], float],
     ) -> list[Any]:
-        """Run one wave of tasks with per-task retries.
+        """Run one wave of tasks under the full fault-tolerance envelope.
 
-        All first attempts are submitted together; failures are retried
-        in subsequent rounds (attempt numbers are per task).  Results
-        are returned in task order, independent of completion order.
+        An event loop over in-flight attempts: launch what is ready
+        (first attempts immediately, retries after their backoff),
+        collect completions as they land, classify failures (task vs
+        infrastructure), abandon attempts that outlive the task
+        timeout, and race speculative backups against stragglers.
+        Results are returned in task order, independent of completion
+        order, and exactly one successful attempt per task is folded —
+        the counter-determinism contract.
+
+        On a terminal failure the remaining in-flight attempts are
+        drained first (their FINISH/FAIL events and spans are recorded)
+        so the event log stays complete for post-mortem analysis.
         """
         tracer = self._tracer
-        results: list[Any] = [None] * len(task_ids)
-        attempt = {index: 1 for index in range(len(task_ids))}
-        pending = list(range(len(task_ids)))
-        wave_index = 0
-        while pending:
-            wave_span = tracer.span(
-                f"wave.{kind}",
-                category="scheduler",
-                wave=wave_index,
-                tasks=len(pending),
-            )
-            wave_span.__enter__()
-            submitted = []
-            started_at: dict[int, float] = {}
-            for index in pending:
-                task_id = task_ids[index]
-                inject = self._policy.should_fail(
-                    kind, task_id, attempt[index]
+        total = len(task_ids)
+        results: list[Any] = [None] * total
+        done: set[int] = set()
+        #: Next attempt number per task (monotonic; speculative backups
+        #: consume numbers too).
+        next_attempt = [1] * total
+        #: Charged failures per task (fail/timeout/crash — not KILLED);
+        #: a task is terminal at ``policy.max_attempts`` charges.
+        charged = [0] * total
+        #: Live (in-flight) attempts per task.
+        live = [0] * total
+        speculated = [False] * total
+        running: list[_Attempt] = []
+        #: Attempts ready to launch, as ``(not_before, index)`` pairs.
+        ready: list[tuple[float, int]] = [(0.0, i) for i in range(total)]
+        #: Wall seconds of successful attempts (speculation baseline).
+        durations: list[float] = []
+        terminal: BaseException | None = None
+
+        def launch(index: int, speculative: bool = False) -> None:
+            number = next_attempt[index]
+            next_attempt[index] = number + 1
+            task_id = task_ids[index]
+            fault = self._policy.fault_for(kind, task_id, number)
+            started = clock()
+            events.append(
+                TaskEvent(
+                    task_id=task_id,
+                    kind=kind,
+                    event=E.START,
+                    attempt=number,
+                    t_seconds=started,
+                    speculative=speculative,
                 )
-                started_at[index] = clock()
+            )
+            try:
+                future = self._executor.submit(fn, *args_for(index, fault))
+            except WorkerCrashError as exc:
+                # A broken pool rejects submissions synchronously; the
+                # attempt is charged and retried like any other crash
+                # casualty, and the pool is rebuilt before the retry.
+                future = CompletedFuture(error=exc)
+            live[index] += 1
+            running.append(_Attempt(index, number, future, started, speculative))
+
+        def record_fail(att: _Attempt, error: str, cpu: float = 0.0) -> None:
+            events.append(
+                TaskEvent(
+                    task_id=task_ids[att.index],
+                    kind=kind,
+                    event=E.FAIL,
+                    attempt=att.number,
+                    t_seconds=clock(),
+                    cpu_seconds=cpu,
+                    error=error,
+                )
+            )
+
+        def charge_and_reschedule(att: _Attempt, cause: BaseException) -> None:
+            """Charge a failed/timed-out attempt; queue a retry or go
+            terminal.  The attempt must already be off the live books."""
+            nonlocal terminal
+            index = att.index
+            charged[index] += 1
+            if terminal is not None or index in done:
+                return
+            if live[index] > 0:
+                # A sibling attempt (a speculative backup, or the
+                # original it was backing up) is still racing for this
+                # task; its outcome decides whether a retry is needed.
+                return
+            if charged[index] >= policy.max_attempts:
+                if policy.max_attempts == 1:
+                    # Fail-fast configuration: propagate the task's own
+                    # exception unchanged (the historical behaviour).
+                    terminal = cause
+                else:
+                    failure = TaskFailedError(
+                        task_ids[index], charged[index], cause
+                    )
+                    failure.__cause__ = cause
+                    terminal = failure
+            else:
+                # Queue the retry behind its exponential backoff.
+                ready.append(
+                    (clock() + policy.backoff_delay(charged[index]), index)
+                )
+
+        def collect(att: _Attempt) -> bool:
+            """Fold one completed attempt; True if the pool crashed."""
+            nonlocal terminal
+            index = att.index
+            task_id = task_ids[index]
+            live[index] -= 1
+            try:
+                result = att.future.result()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as raised:
+                exc, wasted_cpu, spans = _unwrap_failure(raised)
+                if index in done:
+                    # A speculative loser that failed after the winner
+                    # finished: it lost the race, record the kill.
+                    events.append(
+                        TaskEvent(
+                            task_id=task_id,
+                            kind=kind,
+                            event=E.KILLED,
+                            attempt=att.number,
+                            t_seconds=clock(),
+                        )
+                    )
+                    return False
+                record_fail(
+                    att, f"{type(exc).__name__}: {exc}", cpu=wasted_cpu
+                )
+                # Failed-attempt spans stay in the trace, re-based to
+                # the attempt's start and marked as wasted work.
+                tracer.extend(
+                    spans,
+                    offset=att.started_at,
+                    task=task_id,
+                    attempt=att.number,
+                    failed=True,
+                )
+                charge_and_reschedule(att, exc)
+                return isinstance(exc, WorkerCrashError)
+            finished_at = clock()
+            if index in done:
+                # The speculative race's loser finished second; its
+                # result (and counters) are discarded wholesale.
                 events.append(
                     TaskEvent(
                         task_id=task_id,
                         kind=kind,
-                        event=E.START,
-                        attempt=attempt[index],
-                        t_seconds=started_at[index],
+                        event=E.KILLED,
+                        attempt=att.number,
+                        t_seconds=finished_at,
                     )
                 )
-                submitted.append(
-                    (index, self._executor.submit(fn, *args_for(index, inject)))
+                return False
+            done.add(index)
+            results[index] = result
+            durations.append(finished_at - att.started_at)
+            events.append(
+                TaskEvent(
+                    task_id=task_id,
+                    kind=kind,
+                    event=E.FINISH,
+                    attempt=att.number,
+                    t_seconds=finished_at,
+                    cpu_seconds=result.cpu_seconds,
+                    output_bytes=(
+                        result.output_bytes
+                        if kind == E.MAP
+                        else result.shuffle_bytes
+                    ),
                 )
-            failed: list[int] = []
-            for index, future in submitted:
-                task_id = task_ids[index]
-                try:
-                    result = future.result()
-                except Exception as raised:
-                    exc, wasted_cpu, spans = _unwrap_failure(raised)
-                    events.append(
-                        TaskEvent(
-                            task_id=task_id,
-                            kind=kind,
-                            event=E.FAIL,
-                            attempt=attempt[index],
-                            t_seconds=clock(),
-                            cpu_seconds=wasted_cpu,
-                            error=f"{type(exc).__name__}: {exc}",
+            )
+            tracer.extend(
+                result.spans,
+                offset=att.started_at,
+                task=task_id,
+                attempt=att.number,
+            )
+            return False
+
+        def kill_siblings(of: _Attempt) -> None:
+            """Kill still-running attempts of a task that just won."""
+            for sibling in [
+                a for a in running if a.index == of.index and a is not of
+            ]:
+                running.remove(sibling)
+                live[sibling.index] -= 1
+                if not sibling.future.cancel():
+                    self._executor.abandon(sibling.future)
+                events.append(
+                    TaskEvent(
+                        task_id=task_ids[sibling.index],
+                        kind=kind,
+                        event=E.KILLED,
+                        attempt=sibling.number,
+                        t_seconds=clock(),
+                    )
+                )
+
+        wave_span = tracer.span(
+            f"wave.{kind}", category="scheduler", wave=0, tasks=total
+        )
+        wave_span.__enter__()
+        try:
+            while len(done) < total:
+                progressed = False
+
+                # 1) Launch everything whose backoff has expired.
+                now = clock()
+                waiting: list[tuple[float, int]] = []
+                for not_before, index in ready:
+                    if index in done:
+                        continue
+                    if now < not_before:
+                        waiting.append((not_before, index))
+                    else:
+                        launch(index)
+                        progressed = True
+                ready[:] = waiting
+
+                # 2) Collect completed attempts (in submission order).
+                completed: list[_Attempt] = []
+                still: list[_Attempt] = []
+                for att in running:
+                    (completed if att.future.done() else still).append(att)
+                running[:] = still
+                crashed = False
+                for att in completed:
+                    progressed = True
+                    was_won_before = att.index in done
+                    crashed = collect(att) or crashed
+                    if att.index in done and not was_won_before:
+                        kill_siblings(att)
+
+                # 3) Worker crash: every attempt still in flight went
+                #    down with the pool.  Charge them as retries, then
+                #    rebuild the pool so the next launches land on
+                #    fresh workers.
+                if crashed:
+                    for att in running:
+                        live[att.index] -= 1
+                        record_fail(
+                            att,
+                            f"{E.WORKER_CRASH_PREFIX}: attempt lost in "
+                            "flight (worker pool broken)",
                         )
-                    )
-                    # Failed-attempt spans stay in the trace, re-based
-                    # to the attempt's start and marked as wasted work.
-                    tracer.extend(
-                        spans,
-                        offset=started_at[index],
-                        task=task_id,
-                        attempt=attempt[index],
-                        failed=True,
-                    )
-                    if attempt[index] >= max_attempts:
-                        wave_span.__exit__(None, None, None)
-                        if max_attempts == 1:
-                            # Fail-fast configuration: propagate the
-                            # task's exception unchanged (the
-                            # historical runner's behaviour).
-                            if exc is raised:
-                                raise
-                            raise exc from raised
-                        raise TaskFailedError(
-                            task_id, attempt[index], exc
-                        ) from exc
-                    attempt[index] += 1
-                    failed.append(index)
-                else:
-                    results[index] = result
-                    events.append(
-                        TaskEvent(
-                            task_id=task_id,
-                            kind=kind,
-                            event=E.FINISH,
-                            attempt=attempt[index],
-                            t_seconds=clock(),
-                            cpu_seconds=result.cpu_seconds,
-                            output_bytes=(
-                                result.output_bytes
-                                if kind == E.MAP
-                                else result.shuffle_bytes
+                        charge_and_reschedule(
+                            att,
+                            WorkerCrashError(
+                                "attempt lost in flight (worker pool broken)"
                             ),
                         )
+                    running.clear()
+                    self._executor.rebuild()
+
+                # 4) Abandon attempts that outlived the task timeout.
+                if policy.task_timeout_seconds is not None:
+                    now = clock()
+                    overdue = [
+                        att
+                        for att in running
+                        if now - att.started_at > policy.task_timeout_seconds
+                    ]
+                    for att in overdue:
+                        progressed = True
+                        running.remove(att)
+                        live[att.index] -= 1
+                        if not att.future.cancel():
+                            # Already running somewhere: nothing can
+                            # stop it, so its eventual result is
+                            # abandoned (never folded).
+                            self._executor.abandon(att.future)
+                        events.append(
+                            TaskEvent(
+                                task_id=task_ids[att.index],
+                                kind=kind,
+                                event=E.TIMEOUT,
+                                attempt=att.number,
+                                t_seconds=now,
+                            )
+                        )
+                        charge_and_reschedule(
+                            att,
+                            TaskTimeoutError(
+                                task_ids[att.index],
+                                att.number,
+                                policy.task_timeout_seconds,
+                            ),
+                        )
+
+                # 5) Race speculative backups against stragglers once
+                #    enough of the wave has finished to know what a
+                #    typical task costs.
+                if (
+                    policy.speculative_execution
+                    and durations
+                    and len(done) < total
+                    and len(done) >= policy.speculative_quantile * total
+                ):
+                    threshold = policy.speculative_slack * statistics.median(
+                        durations
                     )
-                    tracer.extend(
-                        result.spans,
-                        offset=started_at[index],
-                        task=task_id,
-                        attempt=attempt[index],
+                    now = clock()
+                    for att in list(running):
+                        if att.speculative or speculated[att.index]:
+                            continue
+                        if now - att.started_at > threshold:
+                            speculated[att.index] = True
+                            launch(att.index, speculative=True)
+                            progressed = True
+
+                # 6) Terminal failure: drain what is still in flight so
+                #    the event log is complete, then propagate.  The
+                #    completed log rides on the exception (``.events``)
+                #    so post-mortem analysis can see every attempt.
+                if terminal is not None:
+                    self._drain(kind, task_ids, running, events, clock)
+                    try:
+                        terminal.events = events
+                    except Exception:
+                        pass
+                    raise terminal
+
+                if len(done) >= total or progressed:
+                    continue
+
+                # 7) Idle: wait for the earliest wake-up — a retry's
+                #    backoff deadline, or the poll tick while attempts
+                #    are in flight.
+                delay = _POLL_TICK
+                if not running and ready:
+                    now = clock()
+                    delay = max(
+                        0.0, min(nb for nb, _ in ready) - now
                     )
+                self._sleep(delay)
+        finally:
             wave_span.__exit__(None, None, None)
-            wave_index += 1
-            pending = failed
         return results
+
+    def _drain(
+        self,
+        kind: str,
+        task_ids: Sequence[str],
+        running: list[_Attempt],
+        events: EventLog,
+        clock: Callable[[], float],
+    ) -> None:
+        """Block on the wave's remaining in-flight attempts, recording
+        their FINISH/FAIL events and spans, before a terminal raise.
+
+        Without this, sibling attempts submitted alongside a terminally
+        failing task would vanish from the event log (STARTs with no
+        end), breaking post-mortem analysis of exactly the runs where
+        it matters most.
+        """
+        tracer = self._tracer
+        for att in running:
+            task_id = task_ids[att.index]
+            try:
+                result = att.future.result()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as raised:
+                exc, wasted_cpu, spans = _unwrap_failure(raised)
+                events.append(
+                    TaskEvent(
+                        task_id=task_id,
+                        kind=kind,
+                        event=E.FAIL,
+                        attempt=att.number,
+                        t_seconds=clock(),
+                        cpu_seconds=wasted_cpu,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                tracer.extend(
+                    spans,
+                    offset=att.started_at,
+                    task=task_id,
+                    attempt=att.number,
+                    failed=True,
+                )
+            else:
+                events.append(
+                    TaskEvent(
+                        task_id=task_id,
+                        kind=kind,
+                        event=E.FINISH,
+                        attempt=att.number,
+                        t_seconds=clock(),
+                        cpu_seconds=result.cpu_seconds,
+                        output_bytes=(
+                            result.output_bytes
+                            if kind == E.MAP
+                            else result.shuffle_bytes
+                        ),
+                    )
+                )
+                tracer.extend(
+                    result.spans,
+                    offset=att.started_at,
+                    task=task_id,
+                    attempt=att.number,
+                )
+        running.clear()
 
     # -- the job -----------------------------------------------------------
     def execute(
@@ -339,6 +830,14 @@ class JobScheduler:
         )
         if max_attempts < 1:
             raise ValueError("max_task_attempts must be >= 1")
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            task_timeout_seconds=job.task_timeout_seconds,
+            retry_backoff_seconds=job.retry_backoff_seconds,
+            speculative_execution=job.speculative_execution,
+            speculative_quantile=job.speculative_quantile,
+            speculative_slack=job.speculative_slack,
+        )
         if self._executor.requires_pickling:
             check_picklable(job)
 
@@ -350,10 +849,10 @@ class JobScheduler:
         ]
 
         events = EventLog()
-        start = time.monotonic()
+        start = self._clock()
 
         def clock() -> float:
-            return time.monotonic() - start
+            return self._clock() - start
 
         tracer = self._tracer
         # Scheduler-side spans and re-based task spans share the event
@@ -367,14 +866,14 @@ class JobScheduler:
             E.MAP,
             map_ids,
             _run_map_attempt,
-            lambda index, inject: (
+            lambda index, fault: (
                 job,
                 map_ids[index],
                 split_lists[index],
-                inject,
+                fault,
                 trace,
             ),
-            max_attempts,
+            policy,
             events,
             clock,
         )
@@ -409,14 +908,14 @@ class JobScheduler:
             E.REDUCE,
             reduce_ids,
             _run_reduce_attempt,
-            lambda index, inject: (
+            lambda index, fault: (
                 job,
                 index,
                 shuffle_plan[index],
-                inject,
+                fault,
                 trace,
             ),
-            max_attempts,
+            policy,
             events,
             clock,
         )
@@ -492,8 +991,15 @@ class JobScheduler:
             attempts = metrics.counter(
                 f"mr.{kind}.attempts", f"{kind} attempts started"
             )
-            failures = metrics.counter(
-                f"mr.{kind}.attempts.failed", f"{kind} attempts failed"
+            # Register every outcome counter up front: a zero sample in
+            # the dump means "path exercised zero times", not "absent".
+            outcome = {
+                name: attempt_outcome_counter(metrics, kind, name)
+                for name in ATTEMPT_OUTCOMES
+            }
+            killed = metrics.counter(
+                f"mr.{kind}.attempts.killed",
+                f"{kind} speculative attempts killed (lost the race)",
             )
             output_bytes = metrics.histogram(
                 f"mr.{kind}.output.bytes",
@@ -505,12 +1011,20 @@ class JobScheduler:
                     continue
                 if event.event == E.START:
                     attempts.add()
+                    if event.speculative:
+                        outcome["speculative"].add()
                 elif event.event == E.FAIL:
-                    failures.add()
+                    outcome["failed"].add()
+                    if event.is_worker_crash:
+                        outcome["worker_crash"].add()
                     metrics.counter(
                         "mr.wasted.cpu.seconds",
                         "CPU burned by failed attempts",
                     ).add(event.cpu_seconds)
+                elif event.event == E.TIMEOUT:
+                    outcome["timeout"].add()
+                elif event.event == E.KILLED:
+                    killed.add()
                 elif event.event == E.FINISH:
                     cpu.observe(event.cpu_seconds)
                     output_bytes.observe(event.output_bytes)

@@ -251,6 +251,29 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
 
+#: Outcome suffixes of the scheduler's per-kind attempt counters
+#: (``mr.<kind>.attempts.<outcome>``), with their help strings.  The
+#: scheduler registers all of them for every run — a zero sample in the
+#: Prometheus dump is a statement that the path was exercised zero
+#: times, not that it does not exist.
+ATTEMPT_OUTCOMES: dict[str, str] = {
+    "failed": "attempts that raised (task failures and worker crashes)",
+    "speculative": "speculative backup attempts launched",
+    "timeout": "attempts abandoned after exceeding task_timeout_seconds",
+    "worker_crash": "attempts lost to a crashed worker process",
+}
+
+
+def attempt_outcome_counter(
+    registry: "MetricsRegistry", kind: str, outcome: str
+) -> Counter:
+    """The ``mr.<kind>.attempts.<outcome>`` counter of one registry."""
+    return registry.counter(
+        f"mr.{kind}.attempts.{outcome}",
+        f"{kind} {ATTEMPT_OUTCOMES[outcome]}",
+    )
+
+
 def _fmt(value: float) -> str:
     """Prometheus sample value: integral floats without the '.0'."""
     if value == int(value) and abs(value) < 1e15:

@@ -200,6 +200,40 @@ class TestTrace:
         assert "phase" in report
         assert "map.phase.map" in report
 
+    def test_failing_run_still_flushes_partial_trace(
+        self, capsys, tmp_path, monkeypatch
+    ) -> None:
+        """A post-mortem is exactly when the partial trace matters: the
+        jobs traced before the experiment died must reach disk."""
+
+        def exploding_experiment():
+            from repro.mr.engine import LocalJobRunner
+            from repro.mr.split import split_records
+            from repro.workloads.wordcount import wordcount_job
+
+            job = wordcount_job(num_reducers=2)
+            splits = split_records([(0, "a b a"), (1, "b c")], num_splits=2)
+            LocalJobRunner().run(job, splits)
+            raise RuntimeError("boom after one traced job")
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "exploding", (exploding_experiment, "test dummy")
+        )
+        trace_path = tmp_path / "trace.json"
+        with pytest.raises(RuntimeError, match="boom"):
+            main(["run", "exploding", "--trace", str(trace_path)])
+
+        import json
+
+        assert "trace:" in capsys.readouterr().err
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"]
+        assert (tmp_path / "trace.jsonl").exists()
+        # The collector was still cleared despite the failure.
+        from repro.obs.trace import current_trace_collector
+
+        assert current_trace_collector() is None
+
     def test_trace_collector_cleared_after_run(self) -> None:
         from repro.obs.trace import current_trace_collector
 

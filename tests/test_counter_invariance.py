@@ -96,3 +96,63 @@ def test_counters_identical_fast_on_and_off(part_name, strategy) -> None:
     assert any(
         "spill" in name and value for name, value in ref_counters.items()
     ), "test inputs no longer force spills — shrink sort_buffer_bytes"
+
+
+def test_speculative_execution_preserves_counters() -> None:
+    """Fault-tolerance rider on the golden invariance: racing a
+    speculative backup against an injected straggler must fold exactly
+    one attempt's counters — the analytic totals and the output stay
+    bit-identical to a fault-free serial run, whichever attempt wins.
+    """
+    from repro.mr.engine import LocalJobRunner
+    from repro.mr.executor import ParallelExecutor
+    from repro.mr.scheduler import ScriptedFaults
+
+    job = strategy_variants(
+        query_suggestion_job(
+            num_reducers=NUM_REDUCERS,
+            sort_buffer_bytes=SORT_BUFFER_BYTES,
+        )
+    )["AdaptiveSH"]
+    reference = LocalJobRunner().run(job, _splits())
+
+    speculative = job.clone(
+        speculative_execution=True,
+        speculative_quantile=0.5,
+        speculative_slack=1.0,
+        max_task_attempts=2,
+    )
+    with ParallelExecutor(max_workers=4) as pool:
+        raced = LocalJobRunner(
+            executor=pool,
+            fault_policy=ScriptedFaults(faults={"map0": [("slow", 2.0)]}),
+        ).run(speculative, _splits())
+
+    ref_counters = {
+        name: value
+        for name, value in reference.counters.as_dict().items()
+        if not name.startswith(MEASURED_CPU_PREFIXES)
+    }
+    raced_counters = {
+        name: value
+        for name, value in raced.counters.as_dict().items()
+        if not name.startswith(MEASURED_CPU_PREFIXES)
+    }
+    diff = {
+        name: (ref_counters.get(name), raced_counters.get(name))
+        for name in set(ref_counters) | set(raced_counters)
+        if ref_counters.get(name) != raced_counters.get(name)
+    }
+    assert not diff, f"speculation counter drift: {diff}"
+    assert raced.sorted_output() == reference.sorted_output()
+    # The straggler really was raced: a backup launched, and exactly
+    # one of the two attempts contributed a FINISH.
+    assert raced.events.speculative_starts(), (
+        "speculation never triggered — raise the straggler's delay"
+    )
+    finishes = [
+        e
+        for e in raced.events.for_task("map0")
+        if e.event == "finish"
+    ]
+    assert len(finishes) == 1

@@ -145,8 +145,18 @@ class TestDefaultOverride:
         assert default_executor_spec() == ("process", 5)
         monkeypatch.setenv(JOBS_ENV_VAR, "1")
         assert default_executor_spec() == ("serial", None)
+    def test_malformed_env_raises_in_both_entry_points(
+        self, monkeypatch
+    ) -> None:
+        # A malformed REPRO_JOBS must fail loudly everywhere: silently
+        # falling back to serial would fake a parallel run.  Both entry
+        # points — the lazy spec lookup and the eager configuration —
+        # agree on raising.
         monkeypatch.setenv(JOBS_ENV_VAR, "not-a-number")
-        assert default_executor_spec() is None  # malformed env is ignored
+        with pytest.raises(ExecutorError, match="must be an integer"):
+            default_executor_spec()
+        with pytest.raises(ExecutorError, match="must be an integer"):
+            configure_from_env()
 
     def test_explicit_override_beats_env(self, monkeypatch) -> None:
         monkeypatch.setenv(JOBS_ENV_VAR, "8")

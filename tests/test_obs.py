@@ -541,12 +541,12 @@ class TestEventLogUnderParallelExecutor:
         assert result.events.attempts("map0") == 3
         assert result.events.attempts("reduce1") == 2
         assert faults.injected == [
-            ("map0", 1),
-            ("map0", 2),
-            ("reduce1", 1),
+            ("map0", 1, "fail"),
+            ("map0", 2, "fail"),
+            ("reduce1", 1, "fail"),
         ]
         failed = [
-            (e.task_id, e.attempt) for e in result.events.failures()
+            (e.task_id, e.attempt, "fail") for e in result.events.failures()
         ]
         assert failed == faults.injected
         # Injected kills never ran user code: no CPU was wasted.

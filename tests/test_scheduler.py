@@ -146,7 +146,7 @@ class TestFaultInjection:
         )
         result = runner.run(job, splits)
 
-        assert policy.injected == [("map0", 1)]
+        assert policy.injected == [("map0", 1, "fail")]
         assert result.sorted_output() == clean.sorted_output()
         assert result.counters.as_dict() == clean.counters.as_dict()
         assert result.events.attempts("map0") == 2
@@ -234,6 +234,113 @@ class TestEventLog:
         assert len(dicts) == len(events)
         assert dicts[0]["task_id"] == "map0"
         assert dicts[0]["event"] == E.START
+
+    def test_fail_then_finish_durations(self) -> None:
+        """A retried task's wall duration is its *finishing* attempt's
+        interval; the failed attempt still shows up in the per-attempt
+        durations (it occupied a slot)."""
+        from repro.mr.events import EventLog, TaskEvent
+
+        def ev(event, attempt, t, **kw):
+            return TaskEvent(
+                task_id="map0",
+                kind=E.MAP,
+                event=event,
+                attempt=attempt,
+                t_seconds=t,
+                **kw,
+            )
+
+        log = EventLog(
+            [
+                ev(E.START, 1, 0.0),
+                ev(E.FAIL, 1, 1.0, error="InjectedTaskFailure: boom"),
+                ev(E.START, 2, 2.0),
+                ev(E.FINISH, 2, 5.0),
+            ]
+        )
+        assert log.wall_durations(E.MAP) == {"map0": 3.0}
+        assert log.attempt_wall_durations(E.MAP) == [1.0, 3.0]
+        assert log.attempts("map0") == 2
+        assert len(log.failures(E.MAP)) == 1
+
+    def test_timeout_and_killed_attempts_close_their_intervals(self) -> None:
+        """TIMEOUT and KILLED end attempts just like FAIL does, so the
+        slot time of hangs and speculative losers is accounted."""
+        from repro.mr.events import EventLog, TaskEvent
+
+        def ev(event, attempt, t, **kw):
+            return TaskEvent(
+                task_id="map0",
+                kind=E.MAP,
+                event=event,
+                attempt=attempt,
+                t_seconds=t,
+                **kw,
+            )
+
+        log = EventLog(
+            [
+                ev(E.START, 1, 0.0),
+                ev(E.TIMEOUT, 1, 2.0),
+                ev(E.START, 2, 2.0),
+                ev(E.START, 3, 3.0, speculative=True),
+                ev(E.FINISH, 2, 4.0),
+                ev(E.KILLED, 3, 4.0),
+            ]
+        )
+        assert log.wall_durations(E.MAP) == {"map0": 2.0}
+        assert sorted(log.attempt_wall_durations(E.MAP)) == [1.0, 2.0, 2.0]
+        assert [e.attempt for e in log.timeouts(E.MAP)] == [1]
+        assert [e.attempt for e in log.kills(E.MAP)] == [3]
+        assert [e.attempt for e in log.speculative_starts(E.MAP)] == [3]
+
+    def test_worker_crash_classification(self) -> None:
+        from repro.mr.events import EventLog, TaskEvent
+
+        crash = TaskEvent(
+            task_id="map0",
+            kind=E.MAP,
+            event=E.FAIL,
+            attempt=1,
+            t_seconds=1.0,
+            error=f"{E.WORKER_CRASH_PREFIX}: worker process died",
+        )
+        plain = TaskEvent(
+            task_id="map1",
+            kind=E.MAP,
+            event=E.FAIL,
+            attempt=1,
+            t_seconds=1.0,
+            error="ValueError: boom",
+        )
+        assert crash.is_worker_crash and not plain.is_worker_crash
+        log = EventLog([crash, plain])
+        assert log.worker_crashes() == [crash]
+        assert log.failures() == [crash, plain]
+
+    def test_terminal_failure_attaches_complete_event_log(self) -> None:
+        """Post-mortem: the raised exception carries the event log,
+        with the surviving siblings' FINISH events drained into it."""
+        job, splits = _wordcount()
+        runner = LocalJobRunner(
+            fault_policy=ScriptedFaults({"map1": 99}), max_attempts=2
+        )
+        with pytest.raises(TaskFailedError) as info:
+            runner.run(job, splits)
+        events = info.value.events
+        finished = {e.task_id for e in events if e.event == E.FINISH}
+        assert finished == {"map0", "map2", "map3"}
+        # Every START is closed by exactly one end event.
+        starts = {
+            (e.task_id, e.attempt) for e in events if e.event == E.START
+        }
+        ends = [
+            (e.task_id, e.attempt)
+            for e in events
+            if e.event in E.ATTEMPT_ENDS
+        ]
+        assert sorted(ends) == sorted(starts)
 
     def test_measured_runtime_from_events(self) -> None:
         job, splits = _wordcount()
