@@ -1,0 +1,127 @@
+"""Convergence policies for :meth:`~repro.pipeline.api.Pipeline.iterate`.
+
+A policy decides, after each completed iteration, whether the loop is
+done.  Two shapes cover the paper's workloads:
+
+* :class:`FixedIterations` — the paper's own protocol (§7.7.2 runs
+  PageRank for exactly five rounds, costs aggregated over all of them);
+* :class:`ResidualThreshold` — iterate until a residual computed from
+  one watched loop variable's previous/current records drops below a
+  tolerance (with a mandatory iteration cap so a diverging computation
+  terminates).
+
+``resolve_until`` accepts a plain ``int`` as shorthand for
+``FixedIterations(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+Record = tuple[Any, Any]
+ResidualFn = Callable[[Sequence[Record], Sequence[Record]], float]
+
+
+class FixedIterations:
+    """Run the loop body exactly ``count`` times."""
+
+    #: Fixed-count loops never inspect the data between iterations.
+    needs_records = False
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise ValueError("iteration count must be >= 1")
+        self.count = count
+
+    def done(
+        self,
+        iteration: int,
+        previous: dict[str, list[Record]] | None,
+        current: dict[str, list[Record]],
+    ) -> bool:
+        return iteration >= self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FixedIterations({self.count})"
+
+
+class ResidualThreshold:
+    """Stop when ``residual(previous, current) <= tolerance``.
+
+    ``watch`` names the loop variable whose records feed the residual
+    function; the first iteration never stops (there is no previous
+    state to compare against).  ``max_iterations`` bounds the loop.
+    """
+
+    needs_records = True
+
+    def __init__(
+        self,
+        watch: str,
+        residual: ResidualFn,
+        tolerance: float,
+        max_iterations: int = 50,
+    ):
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.watch = watch
+        self.residual = residual
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        #: Residual observed after each iteration (ledger/debugging).
+        self.history: list[float] = []
+
+    def done(
+        self,
+        iteration: int,
+        previous: dict[str, list[Record]] | None,
+        current: dict[str, list[Record]],
+    ) -> bool:
+        if iteration >= self.max_iterations:
+            return True
+        if previous is None:
+            return False
+        value = self.residual(previous[self.watch], current[self.watch])
+        self.history.append(value)
+        return value <= self.tolerance
+
+
+def max_value_delta(
+    previous: Sequence[Record], current: Sequence[Record]
+) -> float:
+    """L-infinity residual over numeric record values, matched by key.
+
+    The stock residual for score-vector loops (PageRank ranks, HITS
+    authorities): the largest absolute change of any key's value; keys
+    present on only one side count their full magnitude.
+    """
+    before = dict(previous)
+    after = dict(current)
+    residual = 0.0
+    for key in before.keys() | after.keys():
+        delta = abs(after.get(key, 0.0) - before.get(key, 0.0))
+        if delta > residual:
+            residual = delta
+    return residual
+
+
+def resolve_until(until: Any) -> FixedIterations | ResidualThreshold:
+    """Normalise an ``until=`` argument to a policy object."""
+    if isinstance(until, int) and not isinstance(until, bool):
+        return FixedIterations(until)
+    if isinstance(until, (FixedIterations, ResidualThreshold)):
+        return until
+    if until is None or (
+        isinstance(until, float) and math.isinf(until)
+    ):
+        raise ValueError(
+            "iterate() needs a termination policy: an int iteration "
+            "count, FixedIterations, or ResidualThreshold"
+        )
+    raise TypeError(
+        f"unsupported until= value {until!r}; pass an int, "
+        "FixedIterations, or ResidualThreshold"
+    )

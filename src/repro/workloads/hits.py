@@ -26,6 +26,7 @@ from repro.mr.api import Combiner, Context, Mapper, Reducer
 from repro.mr.config import JobConf
 from repro.mr.engine import JobResult, LocalJobRunner
 from repro.mr.split import split_records
+from repro.pipeline import Pipeline, PipelineResult
 
 STRUCTURE = "S"
 AUTH = "A"
@@ -90,6 +91,62 @@ def _normalise(scores: dict[Any, float]) -> dict[Any, float]:
     return {node: score / norm for node, score in scores.items()}
 
 
+def initial_state(
+    graph: Sequence[tuple[Any, tuple[float, float, list]]]
+) -> dict[Any, tuple[float, float, list]]:
+    """The driver's iteration state from input records (graph order)."""
+    return {
+        node: (float(hub), float(authority), list(neighbors))
+        for node, (hub, authority, neighbors) in graph
+    }
+
+
+def advance_state(
+    state: dict[Any, tuple[float, float, list]],
+    output: Sequence[tuple[Any, tuple[float, list]]],
+) -> dict[Any, tuple[float, float, list]]:
+    """One driver-side HITS update from a job's authority output.
+
+    Collects the fresh authorities (and carried structure), recomputes
+    hubs from them, L2-normalises both vectors, and returns the next
+    iteration's state — in ``state``'s (graph) order.  Both the manual
+    loop and the pipeline port call exactly this function, so their
+    float arithmetic is identical by construction.
+    """
+    adjacency: dict[Any, list] = {}
+    authorities: dict[Any, float] = {}
+    for node, (new_authority, neighbors) in output:
+        adjacency[node] = neighbors
+        authorities[node] = new_authority
+    # nodes with no in-edges may be missing — keep them at zero
+    for node in state:
+        authorities.setdefault(node, 0.0)
+        adjacency.setdefault(node, state[node][2])
+    authorities = _normalise(authorities)
+    hubs = {
+        node: sum(
+            authorities.get(neighbor, 0.0)
+            for neighbor in adjacency[node]
+        )
+        for node in state
+    }
+    hubs = _normalise(hubs)
+    return {
+        node: (hubs[node], authorities[node], adjacency[node])
+        for node in state
+    }
+
+
+def scores_from_state(
+    state: dict[Any, tuple[float, float, list]]
+) -> dict[Any, tuple[float, float]]:
+    """Project iteration state to ``{node: (hub, authority)}``."""
+    return {
+        node: (hub, authority)
+        for node, (hub, authority, _) in state.items()
+    }
+
+
 def run_hits(
     job: JobConf,
     graph: Sequence[tuple[Any, tuple[float, float, list]]],
@@ -108,41 +165,66 @@ def run_hits(
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
     runner = runner if runner is not None else LocalJobRunner()
-    state = {
-        node: (float(hub), float(authority), list(neighbors))
-        for node, (hub, authority, neighbors) in graph
-    }
+    state = initial_state(graph)
     results: list[JobResult] = []
     for _ in range(iterations):
         records = [(node, value) for node, value in sorted(state.items())]
         splits = split_records(records, num_splits=num_splits)
         result = runner.run(job, splits)
         results.append(result)
-        # collect new authorities (and carried structure)
-        adjacency: dict[Any, list] = {}
-        authorities: dict[Any, float] = {}
-        for node, (new_authority, neighbors) in result.output:
-            adjacency[node] = neighbors
-            authorities[node] = new_authority
-        # nodes with no in-edges may be missing — keep them at zero
-        for node in state:
-            authorities.setdefault(node, 0.0)
-            adjacency.setdefault(node, state[node][2])
-        authorities = _normalise(authorities)
-        hubs = {
-            node: sum(
-                authorities.get(neighbor, 0.0)
-                for neighbor in adjacency[node]
-            )
-            for node in state
-        }
-        hubs = _normalise(hubs)
-        state = {
-            node: (hubs[node], authorities[node], adjacency[node])
-            for node in state
-        }
-    scores = {
-        node: (hub, authority)
-        for node, (hub, authority, _) in state.items()
-    }
-    return scores, results
+        state = advance_state(state, result.output)
+    return scores_from_state(state), results
+
+
+# -- pipeline port -------------------------------------------------------
+def _sorted_state(records: list) -> list:
+    return sorted(records)
+
+
+def _advance_records(output: list, state_records: list) -> list:
+    state = dict(state_records)
+    return list(advance_state(state, output).items())
+
+
+def run_hits_pipeline(
+    job: JobConf,
+    graph: Sequence[tuple[Any, tuple[float, float, list]]],
+    iterations: int = 5,
+    num_splits: int = 8,
+    runner: LocalJobRunner | None = None,
+    until: Any = None,
+) -> tuple[dict[Any, tuple[float, float]], PipelineResult]:
+    """:func:`run_hits` on the pipeline layer.
+
+    The loop variable is the driver state as ``(node, (hub, authority,
+    neighbors))`` records in graph order; each iteration sorts it into
+    the job input, runs one authority-update job, and advances the
+    state with :func:`advance_state` — the same function the manual
+    loop uses, so scores are bit-identical.  Returns the scores and the
+    :class:`~repro.pipeline.result.PipelineResult`.
+    """
+    if until is None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        until = iterations
+    pipeline = Pipeline("hits", runner=runner)
+    state0 = pipeline.source("state", list(initial_state(graph).items()))
+
+    def body(sub: Pipeline, loop_vars: dict, iteration: int) -> dict:
+        job_input = sub.transform(
+            "input", _sorted_state, loop_vars["state"]
+        )
+        output = sub.mapreduce(
+            "hits", job, job_input, num_splits=num_splits
+        )
+        next_state = sub.transform(
+            "state", _advance_records, [output, loop_vars["state"]]
+        )
+        return {"state": next_state}
+
+    final = pipeline.iterate(
+        "iterate", body, {"state": state0}, until=until
+    )
+    result = pipeline.run()
+    scores = scores_from_state(dict(result.dataset(final["state"].name)))
+    return scores, result

@@ -145,3 +145,74 @@ def split_results_by_query(
     for (name, key), value in output:
         results.setdefault(name, []).append((key, value))
     return results
+
+
+# -- pipeline port -------------------------------------------------------
+def _select_query(name: str) -> Callable[[list], list]:
+    def select(output: list) -> list:
+        return [(key, value) for (tag, key), value in output if tag == name]
+
+    return select
+
+
+def run_multiquery_pipeline(
+    queries: Sequence[Query],
+    records: Sequence[tuple[Any, Any]],
+    num_reducers: int = 8,
+    num_splits: int = 8,
+    runner: Any = None,
+    shared: bool = True,
+    max_concurrent_stages: int = 1,
+    **job_kwargs: Any,
+) -> tuple[dict[str, list], "PipelineResult"]:
+    """The multi-query setting as a dataflow pipeline.
+
+    ``shared=True`` runs one merged scan-sharing job and demultiplexes
+    per-query result datasets with transforms.  ``shared=False`` runs
+    one job per query over the same source dataset — the per-query
+    branches are independent stages of one wave, so they execute
+    concurrently when ``max_concurrent_stages > 1``.  Either way the
+    per-query datasets (``query.<name>``) carry untagged keys and match
+    :func:`split_results_by_query` of the corresponding job output.
+
+    Returns ``({query name: records}, PipelineResult)``.
+    """
+    from repro.pipeline import Pipeline
+
+    queries = list(queries)
+    pipeline = Pipeline(
+        "multiquery",
+        runner=runner,
+        max_concurrent_stages=max_concurrent_stages,
+    )
+    docs = pipeline.source("docs", records)
+    if shared:
+        scan = pipeline.mapreduce(
+            "shared_scan",
+            shared_scan_job(queries, num_reducers=num_reducers, **job_kwargs),
+            docs,
+            num_splits=num_splits,
+        )
+        for query in queries:
+            pipeline.transform(
+                f"query.{query.name}", _select_query(query.name), scan
+            )
+    else:
+        for query in queries:
+            scan = pipeline.mapreduce(
+                f"scan.{query.name}",
+                shared_scan_job(
+                    [query], num_reducers=num_reducers, **job_kwargs
+                ),
+                docs,
+                num_splits=num_splits,
+            )
+            pipeline.transform(
+                f"query.{query.name}", _select_query(query.name), scan
+            )
+    result = pipeline.run()
+    per_query = {
+        query.name: result.dataset(f"query.{query.name}")
+        for query in queries
+    }
+    return per_query, result

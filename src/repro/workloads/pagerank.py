@@ -20,6 +20,7 @@ contribute nothing, the standard simplification.
 
 from __future__ import annotations
 
+import math
 from functools import partial
 from typing import Any, Iterator, Sequence
 
@@ -27,6 +28,7 @@ from repro.mr.api import Combiner, Context, Mapper, Reducer
 from repro.mr.config import JobConf
 from repro.mr.engine import JobResult, LocalJobRunner
 from repro.mr.split import split_records
+from repro.pipeline import Pipeline, PipelineResult
 
 STRUCTURE = "S"
 RANK = "R"
@@ -48,13 +50,16 @@ class PageRankCombiner(Combiner):
     """Pre-sum rank contributions per node; pass structure through."""
 
     def reduce(self, key: Any, values: Iterator[tuple], context: Context) -> None:
-        total = 0.0
+        contributions: list[float] = []
         structure: list | None = None
         for tag, payload in values:
             if tag == STRUCTURE:
                 structure = payload
             else:
-                total += payload
+                contributions.append(payload)
+        # fsum is exactly rounded, so the partial sum is independent of
+        # the order contributions arrive in (see PageRankReducer).
+        total = math.fsum(contributions)
         if structure is not None:
             context.write(key, (STRUCTURE, structure))
         if total or structure is None:
@@ -73,13 +78,20 @@ class PageRankReducer(Reducer):
         self.damping = damping
 
     def reduce(self, node: Any, values: Iterator[tuple], context: Context) -> None:
-        total = 0.0
+        contributions: list[float] = []
         structure: list = []
         for tag, payload in values:
             if tag == STRUCTURE:
                 structure = payload
             else:
-                total += payload
+                contributions.append(payload)
+        # A left-to-right ``+=`` makes the rank depend on the order the
+        # grouped values arrive in, which varies with combiner grouping
+        # and sharing strategy.  math.fsum computes the exactly rounded
+        # sum of the multiset, so any arrival order (and any partial
+        # pre-aggregation that preserves the multiset's exact sum)
+        # yields the same float.
+        total = math.fsum(contributions)
         rank = (1 - self.damping) / self.num_nodes + self.damping * total
         context.write(node, (rank, structure))
 
@@ -126,3 +138,93 @@ def run_pagerank(
         results.append(result)
         records = result.output
     return records, results
+
+
+# -- pipeline port -------------------------------------------------------
+def split_graph(
+    graph: Sequence[tuple[Any, tuple]]
+) -> tuple[list[tuple[Any, list]], list[tuple[Any, float]]]:
+    """Split ``(node, (rank, neighbors))`` records into the
+    loop-invariant structure dataset and the rank vector."""
+    structure = [(node, list(neighbors)) for node, (_, neighbors) in graph]
+    ranks = [(node, rank) for node, (rank, _) in graph]
+    return structure, ranks
+
+
+def assemble_records(
+    ranks: Sequence[tuple[Any, float]],
+    structure: Sequence[tuple[Any, list]],
+) -> list[tuple[Any, tuple]]:
+    """Join a rank vector with the structure dataset back into the
+    job's ``(node, (rank, neighbors))`` input format, in rank order.
+
+    Nodes absent from the structure dataset get an empty adjacency
+    list — exactly what the reducer carries for them.
+    """
+    adjacency = dict(structure)
+    return [
+        (node, (rank, adjacency.get(node, []))) for node, rank in ranks
+    ]
+
+
+def extract_ranks(
+    records: Sequence[tuple[Any, tuple]]
+) -> list[tuple[Any, float]]:
+    """Project ``(node, (rank, neighbors))`` records to the rank vector."""
+    return [(node, rank) for node, (rank, _) in records]
+
+
+def run_pagerank_pipeline(
+    job: JobConf,
+    graph: Sequence[tuple[Any, tuple]],
+    iterations: int = 5,
+    num_splits: int = 8,
+    runner: LocalJobRunner | None = None,
+    until: Any = None,
+    max_concurrent_stages: int = 1,
+) -> tuple[list[tuple[Any, tuple]], PipelineResult]:
+    """:func:`run_pagerank` on the pipeline layer.
+
+    The graph is split into the loop-invariant ``structure`` dataset
+    (serde-encoded once; every iteration's read is a cache hit) and the
+    per-iteration ``ranks`` vector.  Each iteration assembles the job
+    input from the two, runs one PageRank job, and extracts the next
+    rank vector.  Returns the final ``(node, (rank, neighbors))``
+    records — bit-identical to :func:`run_pagerank` — and the
+    :class:`~repro.pipeline.result.PipelineResult` whose
+    ``job_results()`` mirror the manual loop's per-iteration results.
+
+    ``until`` overrides the fixed iteration count with any policy from
+    :mod:`repro.pipeline.convergence` (e.g. a rank-residual threshold).
+    """
+    if until is None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        until = iterations
+    pipeline = Pipeline(
+        "pagerank",
+        runner=runner,
+        max_concurrent_stages=max_concurrent_stages,
+    )
+    structure_records, rank_records = split_graph(graph)
+    structure = pipeline.source("structure", structure_records)
+    ranks0 = pipeline.source("ranks", rank_records)
+
+    def body(sub: Pipeline, loop_vars: dict, iteration: int) -> dict:
+        assembled = sub.transform(
+            "assemble", assemble_records, [loop_vars["ranks"], structure]
+        )
+        output = sub.mapreduce(
+            "pagerank", job, assembled, num_splits=num_splits
+        )
+        next_ranks = sub.transform("ranks", extract_ranks, output)
+        return {"ranks": next_ranks}
+
+    final = pipeline.iterate(
+        "iterate", body, {"ranks": ranks0}, until=until
+    )
+    pipeline.transform(
+        "result", assemble_records, [final["ranks"], structure]
+    )
+    result = pipeline.run()
+    return result.dataset("result"), result

@@ -12,6 +12,10 @@ EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
 SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
 
+#: Each example is a fresh interpreter running a full workload —
+#: integration tier, run by the nightly `-m slow` job.
+pytestmark = pytest.mark.slow
+
 
 def test_examples_directory_is_populated() -> None:
     names = {script.name for script in SCRIPTS}

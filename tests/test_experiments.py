@@ -50,6 +50,7 @@ class TestFig9:
 
 
 class TestFig10:
+    @pytest.mark.slow
     def test_compression_composes_with_anti(self) -> None:
         result = run_fig10(num_queries=400, num_reducers=4, num_splits=3)
         for row in result.rows:
@@ -102,6 +103,7 @@ class TestTable2:
 
 
 class TestFig11:
+    @pytest.mark.slow
     def test_threshold_shape(self) -> None:
         result = run_fig11(
             num_queries=250,

@@ -24,6 +24,9 @@ from repro.workloads.query_suggestion import (
     query_suggestion_job,
 )
 
+#: Soak tier: excluded from tier-1, run by the nightly `-m slow` job.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def hostile_setup():

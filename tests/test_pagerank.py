@@ -112,3 +112,44 @@ class TestPageRank:
         ranks = dict(final)
         assert ranks[1][1] == []  # dangling node kept, empty adjacency
         assert ranks[0][0] > 0
+
+    def test_reducer_sum_is_order_independent(self) -> None:
+        """Regression: the reducer used a left-to-right ``+=`` over the
+        grouped contributions, so the rank depended on the order values
+        arrived in (which varies with combiner grouping and sharing
+        strategy).  fsum computes the exactly rounded sum, so every
+        permutation of the same contributions must yield the same
+        float — exercised with magnitudes chosen so naive left-to-right
+        addition of different orders really does round differently.
+        """
+        import itertools
+
+        contributions = [1e16, 1.0, -1e16, 0.25, 3.0, 1e-3]
+
+        class _Sink:
+            def __init__(self):
+                self.written = []
+
+            def write(self, key, value):
+                self.written.append((key, value))
+
+        naive_sums = set()
+        ranks = set()
+        for permutation in itertools.permutations(contributions):
+            total = 0.0
+            for value in permutation:
+                total += value
+            naive_sums.add(total)
+            reducer = PageRankReducer(num_nodes=2, damping=0.85)
+            sink = _Sink()
+            reducer.reduce(
+                0,
+                iter([("R", value) for value in permutation]),
+                sink,
+            )
+            [(_, (rank, _))] = sink.written
+            ranks.add(rank)
+        # The inputs genuinely distinguish summation orders...
+        assert len(naive_sums) > 1
+        # ...yet the reducer's rank is one exact value for all of them.
+        assert len(ranks) == 1

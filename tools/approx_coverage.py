@@ -1,0 +1,130 @@
+"""Approximate line coverage with the stdlib only.
+
+CI measures coverage with pytest-cov, but that dependency is not part
+of the core environment — this tool answers "roughly where is the
+ratchet?" anywhere pytest runs, with no third-party tooling:
+
+    PYTHONPATH=src python tools/approx_coverage.py [--filter repro.pipeline] \
+        [pytest args...]
+
+It installs a ``sys.settrace`` hook that records executed lines of
+files under ``src/repro`` only (frames outside are skipped at call
+time, keeping overhead tolerable), runs pytest in-process, then
+compares the executed lines against each module's possible lines
+(derived from the compiled code objects).  Worker subprocesses are not
+traced — run serial-executor tests when measuring engine internals.
+
+The numbers track pytest-cov's line coverage closely but not exactly
+(e.g. lines only reachable in worker processes are counted as missed
+here); treat the output as a floor estimate for seeding/raising the CI
+ratchet, not as the ratchet itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import threading
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src"
+PREFIX = str(SRC_ROOT / "repro") + os.sep
+
+_executed: dict[str, set[int]] = {}
+
+
+def _line_tracer(frame, event, arg):
+    if event == "line":
+        _executed[frame.f_code.co_filename].add(frame.f_lineno)
+    return _line_tracer
+
+
+def _call_tracer(frame, event, arg):
+    if event != "call":
+        return None
+    filename = frame.f_code.co_filename
+    if not filename.startswith(PREFIX):
+        return None
+    _executed.setdefault(filename, set()).add(frame.f_lineno)
+    return _line_tracer
+
+
+def _possible_lines(path: pathlib.Path) -> set[int]:
+    """Line numbers the compiled module could execute."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    pending = [code]
+    while pending:
+        obj = pending.pop()
+        lines.update(
+            line for _, _, line in obj.co_lines() if line is not None
+        )
+        pending.extend(
+            const for const in obj.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--filter",
+        default="repro",
+        help="dotted module prefix to report on (default: repro)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to pytest (default: the tier-1 run)",
+    )
+    args, unknown = parser.parse_known_args(argv)
+    pytest_args = [*unknown, *args.pytest_args] or ["-x", "-q"]
+
+    import pytest
+
+    threading.settrace(_call_tracer)
+    sys.settrace(_call_tracer)
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"pytest exited {exit_code}; coverage below reflects the "
+              "partial run", file=sys.stderr)
+
+    wanted_prefix = str(
+        SRC_ROOT / args.filter.replace(".", os.sep)
+    )
+    total_possible = 0
+    total_executed = 0
+    rows: list[tuple[str, int, int]] = []
+    for path in sorted((SRC_ROOT / "repro").rglob("*.py")):
+        if not str(path).startswith(wanted_prefix):
+            continue
+        possible = _possible_lines(path)
+        executed = _executed.get(str(path), set()) & possible
+        total_possible += len(possible)
+        total_executed += len(executed)
+        rows.append(
+            (
+                str(path.relative_to(SRC_ROOT)),
+                len(executed),
+                len(possible),
+            )
+        )
+    width = max((len(name) for name, _, _ in rows), default=10)
+    for name, executed, possible in rows:
+        percent = 100.0 * executed / possible if possible else 100.0
+        print(f"{name:<{width}}  {executed:>5}/{possible:<5}  {percent:6.1f}%")
+    overall = (
+        100.0 * total_executed / total_possible if total_possible else 100.0
+    )
+    print(f"{'TOTAL':<{width}}  {total_executed:>5}/{total_possible:<5}  "
+          f"{overall:6.1f}%")
+    return 0 if exit_code == 0 else int(exit_code)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
