@@ -12,6 +12,8 @@ reported number is the median of the repeats.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import statistics
 import time
 from dataclasses import dataclass
@@ -34,10 +36,20 @@ class BenchResult:
     baseline_s: float
     current_s: float
     repeats: int
+    #: Records processed per leg invocation, when the benchmark is a
+    #: record path — lets the report derive records/s throughput.
+    records: int | None = None
 
     @property
     def speedup(self) -> float:
         return self.baseline_s / self.current_s if self.current_s else 0.0
+
+    @property
+    def records_per_s(self) -> float | None:
+        """Current-leg throughput, or ``None`` for non-record benchmarks."""
+        if self.records is None or not self.current_s:
+            return None
+        return self.records / self.current_s
 
 
 def bench_pair(
@@ -45,6 +57,7 @@ def bench_pair(
     baseline_fn: Callable[[], object],
     current_fn: Callable[[], object],
     repeats: int = 5,
+    records: int | None = None,
 ) -> BenchResult:
     """Time the two legs interleaved; return median-of-``repeats``."""
     baseline_fn()
@@ -63,7 +76,19 @@ def bench_pair(
         baseline_s=statistics.median(baseline_times),
         current_s=statistics.median(current_times),
         repeats=repeats,
+        records=records,
     )
+
+
+def provenance() -> dict:
+    """Machine/interpreter provenance recorded with every bench run."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def results_to_json(
@@ -72,18 +97,25 @@ def results_to_json(
     extra: dict | None = None,
 ) -> dict:
     """The JSON document shape committed as ``BENCH_hotpaths.json``."""
+    benchmarks: dict = {}
+    for r in results:
+        entry = {
+            "baseline_s": round(r.baseline_s, 6),
+            "current_s": round(r.current_s, 6),
+            "speedup": round(r.speedup, 3),
+            "repeats": r.repeats,
+        }
+        if r.records is not None:
+            entry["records"] = r.records
+            throughput = r.records_per_s
+            if throughput is not None:
+                entry["records_per_s"] = round(throughput, 1)
+        benchmarks[r.name] = entry
     doc = {
-        "schema": 1,
+        "schema": 2,
         "quick": quick,
-        "benchmarks": {
-            r.name: {
-                "baseline_s": round(r.baseline_s, 6),
-                "current_s": round(r.current_s, 6),
-                "speedup": round(r.speedup, 3),
-                "repeats": r.repeats,
-            }
-            for r in results
-        },
+        "provenance": provenance(),
+        "benchmarks": benchmarks,
     }
     if extra:
         doc.update(extra)

@@ -20,12 +20,27 @@ fast path over identical seeded inputs:
 * ``executor.oob`` — a payload-heavy task result crossing a pickle
   boundary: default-protocol round trip vs the protocol-5 out-of-band
   envelope (:func:`repro.mr.executor.dumps_oob`).
-* ``e2e.fig9`` — a small end-to-end Figure 9 run, reference toggle off
-  vs on.  Note the toggled-off leg still benefits from ungated
+* ``serde.encode_batch.*`` — the batched tier's run-oriented encoder
+  (DESIGN.md §11): one dispatch per homogeneous run
+  (:func:`repro.mr.serde.encode_kv_batch`) vs one per record.
+* ``shuffle.innode`` — node-level in-node combining on vs off for a
+  combiner-enabled Query-Suggestion job.
+* ``scaling.workers{2,4}`` — the same job on the process executor with
+  1 (baseline) vs N worker processes; ``speedup`` is the multicore
+  scaling factor at that width.
+* ``e2e.fig9`` — a small end-to-end Figure 9 run, reference toggles
+  off vs the full batched tier (``REPRO_FASTPATH`` + ``REPRO_BATCH``)
+  on; ``e2e.fig9.batch`` isolates the batch tier (fast paths on both
+  legs).  Note the toggled-off leg still benefits from ungated
   rewrites (serde dispatch tables, hash memo); the committed
   ``BENCH_hotpaths.json`` therefore records the true pre-PR wall time,
   measured by running this same benchmark at the pre-PR commit (see
   ``benchmarks/perf/README.md``).
+
+Record-path suites report ``records`` per invocation so the committed
+JSON carries ``records_per_s`` throughput alongside wall times; every
+run also records machine provenance (Python version, platform, CPU
+count).
 """
 
 from __future__ import annotations
@@ -142,6 +157,7 @@ def _serde_suite(quick: bool) -> list[BenchResult]:
                 lambda records=records: _ref_collect_and_frame(records),
                 lambda records=records: _fast_collect_and_frame(records),
                 repeats=repeats,
+                records=n,
             )
         )
         results.append(
@@ -150,6 +166,33 @@ def _serde_suite(quick: bool) -> list[BenchResult]:
                 lambda framed=framed: list(serde_ref.iter_records(framed)),
                 lambda framed=framed: serde.decode_stream(framed),
                 repeats=repeats,
+                records=n,
+            )
+        )
+        # The batched tier's run-oriented encoder (DESIGN.md §11):
+        # one dispatch per homogeneous run vs one per record.  Both
+        # legs produce the payload bytes only (no framing), which is
+        # what collect_batch and the reduce-output path consume.
+        def scalar_encode(records=records) -> bytes:
+            out = bytearray()
+            encode_kv_into = serde.encode_kv_into
+            for key, value in records:
+                encode_kv_into(out, key, value)
+            return bytes(out)
+
+        def batch_encode(records=records) -> bytes:
+            out = bytearray()
+            serde.encode_kv_batch(out, records)
+            return bytes(out)
+
+        assert scalar_encode() == batch_encode()
+        results.append(
+            bench_pair(
+                f"serde.encode_batch.{shape}",
+                scalar_encode,
+                batch_encode,
+                repeats=repeats,
+                records=n,
             )
         )
     return results
@@ -193,7 +236,15 @@ def _spill_merge_suite(quick: bool) -> list[BenchResult]:
         return bytes(out)
 
     assert reference() == current()
-    return [bench_pair("spill.merge", reference, current, repeats=repeats)]
+    return [
+        bench_pair(
+            "spill.merge",
+            reference,
+            current,
+            repeats=repeats,
+            records=run_count * per_run,
+        )
+    ]
 
 
 def _shared_suite(quick: bool) -> list[BenchResult]:
@@ -263,22 +314,117 @@ def _executor_suite(quick: bool) -> list[BenchResult]:
     return [bench_pair("executor.oob", reference, current, repeats=repeats)]
 
 
+def _qs_inputs(queries: int, seed: int = 42, num_splits: int = 4):
+    from repro.datagen.qlog import generate_query_log
+    from repro.mr.split import split_records
+
+    records = generate_query_log(queries, seed=seed)
+    return split_records(records, num_splits=num_splits)
+
+
 def _e2e_suite(quick: bool) -> list[BenchResult]:
     from repro.experiments import run_fig9
 
     queries = 600 if quick else 2_500
     repeats = 1 if quick else 3
 
-    def leg(flag: bool) -> Callable[[], None]:
+    def leg(fast: bool, batch: bool) -> Callable[[], None]:
         def run() -> None:
-            with fastpath.forced(flag):
+            with fastpath.forced(fast), fastpath.batch_forced(batch):
                 run_fig9(
                     num_queries=queries, num_reducers=4, num_splits=4
                 )
 
         return run
 
-    return [bench_pair("e2e.fig9", leg(False), leg(True), repeats=repeats)]
+    return [
+        # The headline number: reference path vs the full batched tier.
+        bench_pair(
+            "e2e.fig9", leg(False, False), leg(True, True), repeats=repeats
+        ),
+        # The batch tier's own contribution: fast paths on both legs,
+        # REPRO_BATCH off vs on.
+        bench_pair(
+            "e2e.fig9.batch",
+            leg(True, False),
+            leg(True, True),
+            repeats=repeats,
+        ),
+    ]
+
+
+def _innode_suite(quick: bool) -> list[BenchResult]:
+    """Node-level in-node combining vs the plain combiner shuffle."""
+    from repro.mr.engine import LocalJobRunner
+    from repro.workloads.query_suggestion import (
+        PrefixPartitioner,
+        query_suggestion_job,
+    )
+
+    queries = 400 if quick else 1_500
+    repeats = 3 if quick else 5
+    splits = _qs_inputs(queries)
+
+    def leg(innode: bool) -> Callable[[], int]:
+        def run() -> int:
+            job = query_suggestion_job(
+                num_reducers=4,
+                partitioner=PrefixPartitioner(5),
+                with_combiner=True,
+                innode_combining=innode,
+                innode_fanin=2,
+            )
+            return len(LocalJobRunner().run(job, splits).output)
+
+        return run
+
+    assert leg(False)() == leg(True)()
+    return [
+        bench_pair(
+            "shuffle.innode", leg(False), leg(True), repeats=repeats
+        )
+    ]
+
+
+def _scaling_suite(quick: bool) -> list[BenchResult]:
+    """Multicore scaling: the same job on 1 / 2 / 4 worker processes.
+
+    The baseline leg is always the single-worker process executor, so
+    each result's ``speedup`` is the scaling factor at that width
+    (pool spawn cost included — this is an honest wall-clock curve).
+    """
+    from repro.mr.engine import LocalJobRunner
+    from repro.workloads.query_suggestion import query_suggestion_job
+
+    queries = 400 if quick else 1_200
+    repeats = 1 if quick else 3
+    splits = _qs_inputs(queries, num_splits=8)
+
+    def leg(workers: int) -> Callable[[], int]:
+        def run() -> int:
+            job = query_suggestion_job(
+                num_reducers=4,
+                executor="process",
+                max_workers=workers,
+            )
+            return len(LocalJobRunner().run(job, splits).output)
+
+        return run
+
+    expected = leg(1)()
+    results = []
+    for workers in (2, 4):
+        assert leg(workers)() == expected
+        results.append(
+            bench_pair(
+                f"scaling.workers{workers}",
+                leg(1),
+                leg(workers),
+                repeats=repeats,
+                records=queries,
+            )
+        )
+    return results
 
 
 _SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
@@ -286,6 +432,8 @@ _SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
     "spill": _spill_merge_suite,
     "shared": _shared_suite,
     "executor": _executor_suite,
+    "innode": _innode_suite,
+    "scaling": _scaling_suite,
     "e2e": _e2e_suite,
 }
 
@@ -298,7 +446,8 @@ def run_suites(
     """Run the benchmark suites; returns results in a stable order.
 
     ``only`` restricts to a subset of suite names (``serde``,
-    ``spill``, ``shared``, ``executor``, ``e2e``).
+    ``spill``, ``shared``, ``executor``, ``innode``, ``scaling``,
+    ``e2e``).
     """
     selected = set(only) if only is not None else set(_SUITES)
     unknown = selected - set(_SUITES)

@@ -23,7 +23,8 @@ Commands:
   ``benchmarks/results/`` into one document.
 * ``python -m repro bench [--quick] [--check]`` — run the hot-path
   microbenchmarks (serde, spill+merge, Shared, executor transport,
-  end-to-end fig9) and print a comparison table against the committed
+  in-node combining, multicore scaling, end-to-end fig9) and print a
+  comparison table against the committed
   ``BENCH_hotpaths.json``; ``--check`` exits non-zero on a >2x
   regression vs the committed fast-path timings.
 
@@ -433,7 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         dest="suites",
         metavar="NAME",
         help="restrict to a suite (serde, spill, shared, executor, "
-        "e2e); repeatable",
+        "innode, scaling, e2e); repeatable",
     )
     bench_parser.add_argument(
         "--json",

@@ -33,8 +33,11 @@ from repro.core import encoding
 from repro.core.config import Strategy
 from repro.core.runtime import AntiRuntime
 from repro.mr import counters as C
-from repro.mr import serde
+from repro.mr import fastpath, serde
 from repro.mr.api import Context, Mapper
+
+#: Cap on the batched tier's key→partition memo (cleared when full).
+_PARTITION_MEMO_LIMIT = 1 << 16
 
 
 def _value_group_id(value: Any) -> Any:
@@ -60,6 +63,16 @@ class AntiMapper(Mapper):
     def __init__(self, runtime: AntiRuntime):
         self._runtime = runtime
         self._o_mapper: Mapper | None = None
+        # Batched tier: memoise key→partition across map calls.  Legal
+        # under the tier's deterministic-partitioner assumption (the
+        # same one LazySH decoding rests on); the calls it skips are
+        # the unmetered per-record ones — the metered first-record
+        # probe that feeds the threshold rule always runs.
+        self._partition_memo: dict[Any, int] | None = (
+            {} if fastpath.batch_enabled() else None
+        )
+        self._emit_buffer: list[tuple[Any, Any]] = []
+        self._capture: Context | None = None
 
     # -- lifecycle -------------------------------------------------------
     def setup(self, context: Context) -> None:
@@ -88,8 +101,15 @@ class AntiMapper(Mapper):
     def map(self, key: Any, value: Any, context: Context) -> None:
         assert self._o_mapper is not None, "setup() was not called"
         runtime = self._runtime
-        emitted: list[tuple[Any, Any]] = []
-        capture = context.with_sink(lambda k, v: emitted.append((k, v)))
+        # One capture context and emission buffer per task, reused
+        # across map calls (the buffer is drained into per-partition
+        # lists below before the next call can run).
+        emitted = self._emit_buffer
+        emitted.clear()
+        capture = self._capture
+        if capture is None or capture.counters is not context.counters:
+            capture = context.with_capture(emitted)
+            self._capture = capture
         _, map_cost = runtime.meter.measure(
             self._o_mapper.map, key, value, capture
         )
@@ -108,9 +128,25 @@ class AntiMapper(Mapper):
         )
         partition_cost = single_cost * len(emitted)
         by_partition[first_partition] = [emitted[0]]
-        for record in emitted[1:]:
-            partition = get_partition(record[0], num_reducers)
-            by_partition.setdefault(partition, []).append(record)
+        memo = self._partition_memo
+        if memo is None:
+            for record in emitted[1:]:
+                partition = get_partition(record[0], num_reducers)
+                by_partition.setdefault(partition, []).append(record)
+        else:
+            memo_get = memo.get
+            for record in emitted[1:]:
+                record_key = record[0]
+                try:
+                    partition = memo_get(record_key)
+                    if partition is None:
+                        partition = get_partition(record_key, num_reducers)
+                        if len(memo) >= _PARTITION_MEMO_LIMIT:
+                            memo.clear()
+                        memo[record_key] = partition
+                except TypeError:  # unhashable key
+                    partition = get_partition(record_key, num_reducers)
+                by_partition.setdefault(partition, []).append(record)
 
         use_lazy_allowed = self._lazy_allowed(
             map_cost, partition_cost, len(by_partition)
@@ -242,11 +278,12 @@ class AntiMapper(Mapper):
         comparator = self._runtime.comparator
         groups: dict[Any, tuple[Any, list[Any]]] = {}
         for out_key, out_value in records:
-            group = groups.get(_value_group_id(out_value))
+            group_id = _value_group_id(out_value)
+            group = groups.get(group_id)
             if group is not None:
                 group[1].append(out_key)
             else:
-                groups[_value_group_id(out_value)] = (out_value, [out_key])
+                groups[group_id] = (out_value, [out_key])
         encoded: list[tuple[Any, tuple]] = []
         for out_value, keys in groups.values():
             ordered = comparator.sorted(keys)

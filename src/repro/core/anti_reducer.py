@@ -30,10 +30,15 @@ from repro.core import encoding
 from repro.core.runtime import AntiRuntime
 from repro.core.shared import Shared
 from repro.mr import counters as C
+from repro.mr import fastpath
 from repro.mr.api import Context, Mapper, Reducer
 from repro.obs.trace import current_tracer
 
 ReduceFn = Callable[[Any, Iterator[Any], Context], None]
+
+#: Cap on the batched tier's key→partition memo (cleared, not evicted,
+#: when full — re-execution key sets are usually far smaller).
+_PARTITION_MEMO_LIMIT = 1 << 16
 
 
 class DecodeError(RuntimeError):
@@ -75,6 +80,16 @@ class DecodeLoop:
             combiner = runtime.combiner_factory()
             combiner.setup(context.with_sink(_discard_sink))
         self._shared_combiner = combiner
+        # Batched tier: memoise key→partition for the LazySH
+        # re-execution filter.  Legal under the tier's deterministic-
+        # partitioner assumption (the same assumption LazySH decoding
+        # itself rests on); these calls are unmetered framework work,
+        # so the memo is pure wall-time.
+        self._partition_memo: dict[Any, int] | None = (
+            {} if fastpath.batch_enabled() else None
+        )
+        self._reexec_buffer: list[tuple[Any, Any]] = []
+        self._reexec_capture: Context | None = None
         self.shared = Shared(
             comparator=runtime.comparator,
             grouping_comparator=runtime.grouping_comparator,
@@ -91,12 +106,24 @@ class DecodeLoop:
     def drain_below(self, key: Any, context: Context) -> None:
         """Reduce every Shared group sorting strictly before ``key``."""
         grouping = self._runtime.grouping_comparator
+        shared = self.shared
+        target = self._target
+        if fastpath.enabled() and grouping.is_natural:
+            # ``not (alt < key)`` is exactly the natural comparator's
+            # ``cmp(alt, key) >= 0`` — one rich comparison instead of a
+            # Python call per drained group.
+            while True:
+                alt_key = shared.peek_min_key()
+                if alt_key is None or not (alt_key < key):
+                    return
+                rep_key, values = shared.pop_min_key_values()
+                target(rep_key, iter(values), context)
         while True:
-            alt_key = self.shared.peek_min_key()
+            alt_key = shared.peek_min_key()
             if alt_key is None or grouping.cmp(alt_key, key) >= 0:
                 return
-            rep_key, values = self.shared.pop_min_key_values()
-            self._target(rep_key, iter(values), context)
+            rep_key, values = shared.pop_min_key_values()
+            target(rep_key, iter(values), context)
 
     def decode_values(
         self, rep_key: Any, values: Iterator[Any], context: Context
@@ -118,19 +145,32 @@ class DecodeLoop:
     ) -> int:
         shared = self.shared
         components = 0
+        # The tag dispatch is inlined (one ``type`` check per component
+        # instead of a ``tag_of`` call plus payload accessors); the
+        # malformed-eager validation ``tag_of`` performs is kept.
+        plain, eager, lazy = (
+            encoding.PlainValue, encoding.EagerValue, encoding.LazyValue
+        )
         for component in values:
             components += 1
-            tag = encoding.tag_of(component)
-            if tag == encoding.PLAIN:
-                shared.add(rep_key, encoding.plain_payload(component))
-            elif tag == encoding.EAGER:
-                other_keys, value = encoding.eager_payload(component)
-                shared.add(rep_key, value)
-                for key in other_keys:
-                    shared.add(key, value)
-            else:  # LAZY
-                input_key, input_value = encoding.lazy_payload(component)
-                self._reexecute_map(input_key, input_value, context)
+            kind = type(component)
+            if kind is plain:
+                shared.add(rep_key, component.value)
+            elif kind is eager:
+                other_keys = component.other_keys
+                if not isinstance(other_keys, list):
+                    raise encoding.EncodingError(
+                        f"malformed eager value: {component!r}"
+                    )
+                shared.add_group(rep_key, other_keys, component.value)
+            elif kind is lazy:
+                self._reexecute_map(
+                    component.input_key, component.input_value, context
+                )
+            else:
+                raise encoding.EncodingError(
+                    f"not an encoded value component: {component!r}"
+                )
         return components
 
     def _reexecute_map(
@@ -138,15 +178,41 @@ class DecodeLoop:
     ) -> None:
         """Run the original Map, keeping this partition's outputs."""
         runtime = self._runtime
-        emitted: list[tuple[Any, Any]] = []
-        capture = context.with_sink(lambda k, v: emitted.append((k, v)))
+        # One capture context and emission buffer per loop, reused
+        # across re-executions (drained into Shared before returning).
+        emitted = self._reexec_buffer
+        emitted.clear()
+        capture = self._reexec_capture
+        if capture is None:
+            capture = context.with_capture(emitted)
+            self._reexec_capture = capture
         self._o_mapper.map(input_key, input_value, capture)
         context.counters.add(C.ANTI_REDUCE_MAP_REEXECUTIONS)
         matched = False
-        for key, value in emitted:
-            if runtime.get_partition(key) == self._partition:
-                self.shared.add(key, value)
-                matched = True
+        memo = self._partition_memo
+        if memo is not None:
+            shared_add = self.shared.add
+            get_partition = runtime.get_partition
+            memo_get = memo.get
+            partition = self._partition
+            for key, value in emitted:
+                try:
+                    key_partition = memo_get(key)
+                    if key_partition is None:
+                        key_partition = get_partition(key)
+                        if len(memo) >= _PARTITION_MEMO_LIMIT:
+                            memo.clear()
+                        memo[key] = key_partition
+                except TypeError:  # unhashable key
+                    key_partition = get_partition(key)
+                if key_partition == partition:
+                    shared_add(key, value)
+                    matched = True
+        else:
+            for key, value in emitted:
+                if runtime.get_partition(key) == self._partition:
+                    self.shared.add(key, value)
+                    matched = True
         if not matched:
             raise DecodeError(
                 "LazySH re-execution produced no record for partition "
@@ -158,7 +224,15 @@ class DecodeLoop:
         """Run the target on the current (decoded) group."""
         grouping = self._runtime.grouping_comparator
         min_key = self.shared.peek_min_key()
-        if min_key is None or grouping.cmp(min_key, rep_key) != 0:
+        if fastpath.enabled() and grouping.is_natural:
+            mismatch = min_key is None or (
+                min_key < rep_key or min_key > rep_key
+            )
+        else:
+            mismatch = (
+                min_key is None or grouping.cmp(min_key, rep_key) != 0
+            )
+        if mismatch:
             raise DecodeError(
                 f"decoded group for key {rep_key!r} is missing; the Map "
                 "or Partition function is non-deterministic"

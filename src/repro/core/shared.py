@@ -38,6 +38,7 @@ from repro.mr import fastpath, serde
 from repro.mr.api import Combiner, Context
 from repro.mr.comparators import Comparator
 from repro.mr.counters import Counters
+from repro.mr.merge import merge_runs
 from repro.mr.storage import LocalStore, SpillWriter
 from repro.obs.trace import current_tracer
 
@@ -173,9 +174,64 @@ class Shared:
     # -- inserting -------------------------------------------------------
     def add(self, key: Any, value: Any) -> None:
         """Store one decoded pair (paper's ``Shared.add``)."""
-        key_id = self._key_id(key)
-        size = serde.approx_size(key) + serde.approx_size(value)
-        entry = self._table.get(key_id)
+        # ``2 + len`` is exactly ``serde._approx_sized`` — the str case
+        # is inlined because add() runs once per decoded pair and str
+        # keys/values dominate every workload in the suite.
+        size = (2 + len(key)) if type(key) is str else serde.approx_size(key)
+        size += (
+            (2 + len(value))
+            if type(value) is str
+            else serde.approx_size(value)
+        )
+        self._add_sized(key, value, size)
+
+    def add_group(self, rep_key: Any, other_keys: list, value: Any) -> None:
+        """Insert one decoded EagerSH group: ``value`` under every key.
+
+        Equivalent to ``add(rep_key, value)`` followed by ``add(k,
+        value)`` for each ``k`` in ``other_keys`` — the shared value's
+        size estimate is just computed once instead of per key.
+        """
+        value_size = (
+            (2 + len(value))
+            if type(value) is str
+            else serde.approx_size(value)
+        )
+        add_sized = self._add_sized
+        add_sized(
+            rep_key,
+            value,
+            (
+                (2 + len(rep_key))
+                if type(rep_key) is str
+                else serde.approx_size(rep_key)
+            )
+            + value_size,
+        )
+        for key in other_keys:
+            add_sized(
+                key,
+                value,
+                (
+                    (2 + len(key))
+                    if type(key) is str
+                    else serde.approx_size(key)
+                )
+                + value_size,
+            )
+
+    def _add_sized(self, key: Any, value: Any, size: int) -> None:
+        # Single-hash lookup: probe the table with the raw key directly
+        # (``dict.get`` raises TypeError for unhashable keys, exactly
+        # the case ``_key_id`` serialises) instead of hashing once in
+        # ``_key_id`` and again in the lookup.
+        table = self._table
+        try:
+            entry = table.get(key)
+            key_id = key
+        except TypeError:
+            key_id = serde.encode(key)
+            entry = table.get(key_id)
         if entry is None:
             self._table[key_id] = _Entry(key, [value], size)
             heapq.heappush(
@@ -238,6 +294,9 @@ class Shared:
     # -- reading ---------------------------------------------------------
     def peek_min_key(self) -> Any:
         """The minimal stored key, or ``None`` when empty."""
+        if self._fast_keys and not self._runs:
+            # Common case (nothing spilled): the heap top is the answer.
+            return self._heap[0] if self._heap else None
         best: Any = None
         have_best = False
         if self._heap:
@@ -273,12 +332,17 @@ class Shared:
         fast = self._fast_keys and self._fast_group
         if fast:
             heap = self._heap
+            table = self._table
             while heap:
                 key = heap[0]
                 if key < rep_key or key > rep_key:
                     break
                 heapq.heappop(heap)
-                entry = self._table.pop(self._key_id(key))
+                # Single-hash pop, mirroring ``add``'s raw-key probe.
+                try:
+                    entry = table.pop(key)
+                except TypeError:
+                    entry = table.pop(serde.encode(key))
                 self._mem_bytes -= entry.nbytes
                 collected.append((key, entry.values))
             for run in self._runs:
@@ -306,8 +370,10 @@ class Shared:
                             [value],
                         )
                     )
-        self._runs = [run for run in self._runs if not run.exhausted]
-        collected.sort(key=itemgetter(0))
+        if self._runs:
+            self._runs = [run for run in self._runs if not run.exhausted]
+        if len(collected) > 1:
+            collected.sort(key=itemgetter(0))
         values = [value for _, group in collected for value in group]
         return rep_key, values
 
@@ -358,9 +424,13 @@ class Shared:
                 # every value in the group (byte-identical output).
                 encode = serde.encode
                 append_parts = writer.append_parts
+                table = self._table
                 while self._heap:
                     key = heapq.heappop(self._heap)
-                    entry = self._table.pop(self._key_id(key))
+                    try:  # single-hash pop, as in ``add``
+                        entry = table.pop(key)
+                    except TypeError:
+                        entry = table.pop(serde.encode(key))
                     key_bytes = encode(entry.key)
                     for value in entry.values:
                         append_parts(key_bytes, value)
@@ -392,15 +462,27 @@ class Shared:
             runs=len(self._runs),
         ):
             writer = SpillWriter(self._store, name)
-            streams = [run.drain() for run in self._runs]
-            if self._fast_keys:
-                merged = heapq.merge(*streams, key=itemgetter(0))
+            if fastpath.batch_enabled():
+                # Batched tier: materialise the runs, merge them with
+                # one stable sort of the concatenation (identical
+                # record order to the heap merge — see
+                # :func:`repro.mr.merge.merge_runs`, whose key adapter
+                # for this comparator matches the heap's key exactly)
+                # and bulk-append the result.  No counter is charged
+                # inside this loop either way (the write is charged at
+                # ``close``), so this is pure wall-time.
+                runs = [list(run.drain()) for run in self._runs]
+                writer.append_batch(merge_runs(runs, self._comparator))
             else:
-                merged = heapq.merge(
-                    *streams, key=lambda record: self._key_fn(record[0])
-                )
-            for key, value in merged:
-                writer.append(key, value)
+                streams = [run.drain() for run in self._runs]
+                if self._fast_keys:
+                    merged = heapq.merge(*streams, key=itemgetter(0))
+                else:
+                    merged = heapq.merge(
+                        *streams, key=lambda record: self._key_fn(record[0])
+                    )
+                for key, value in merged:
+                    writer.append(key, value)
             for run in self._runs:
                 self._store.delete_file(run.name)
             spill_file = writer.close()

@@ -64,6 +64,19 @@ class Context:
     writer, or the job-output collector).
     """
 
+    # Contexts are created per re-executed Map call on the LazySH
+    # decode path and ``write`` runs once per emitted record — slots
+    # keep both allocation and attribute dispatch cheap.
+    __slots__ = (
+        "counters",
+        "_sink",
+        "partitioner",
+        "num_partitions",
+        "task_id",
+        "partition",
+        "store",
+    )
+
     def __init__(
         self,
         counters: Counters,
@@ -120,6 +133,37 @@ class Context:
             store=self.store,
         )
 
+    def with_capture(self, buffer: list) -> "CaptureContext":
+        """A copy of this context appending ``(key, value)`` pairs to
+        ``buffer``.
+
+        Equivalent to ``with_sink(lambda k, v: buffer.append((k, v)))``
+        but ``write`` appends directly — one call per emitted record
+        instead of three (write → lambda → append) on the interception
+        paths that run once per original-Map output record.
+        """
+        return CaptureContext(
+            counters=self.counters,
+            sink=buffer.append,
+            partitioner=self.partitioner,
+            num_partitions=self.num_partitions,
+            task_id=self.task_id,
+            partition=self.partition,
+            store=self.store,
+        )
+
+
+class CaptureContext(Context):
+    """A context whose sink is a list's bound ``append``."""
+
+    __slots__ = ()
+
+    def write(self, key: Any, value: Any) -> None:
+        """Emit one output record (appended as a ``(key, value)`` pair)."""
+        self._sink((key, value))
+
+    emit = write
+
 
 class Mapper:
     """Base mapper: identity (emits its input unchanged)."""
@@ -149,7 +193,24 @@ class Reducer:
 
 
 class Combiner(Reducer):
-    """A Combiner is a Reducer run on map output (paper Section 6.1)."""
+    """A Combiner is a Reducer run on map output (paper Section 6.1).
+
+    ``monoidal`` declares that the combiner folds a commutative monoid:
+    per key it emits exactly one record, and re-combining already
+    combined output yields the same result as combining the raw records
+    in one pass (associativity with an identity).  Hadoop's combiner
+    contract permits zero or more applications at arbitrary points, but
+    *node-level in-node combining* (DESIGN.md §11) merges the outputs
+    of several co-located map tasks and combines them **again** before
+    the shuffle — legal only when re-combination is lossless, which is
+    exactly the monoid property.  It defaults to ``False``: a combiner
+    must opt in explicitly (the Anti-Combiner, for instance, is
+    stateful and partition-aware and must never be re-applied across
+    tasks).
+    """
+
+    #: Opt-in flag for node-level in-node combining.
+    monoidal = False
 
 
 class Partitioner:

@@ -1,0 +1,104 @@
+"""The ``RecordBatch`` abstraction of the batched dataflow (DESIGN.md §11).
+
+A :class:`RecordBatch` is an ordered slice of ``(key, value)`` records
+travelling through the engine as one unit: the map task hands batches
+of pending emissions to :meth:`~repro.mr.buffer.MapOutputBuffer.collect_batch`,
+the serde layer encodes them run-oriented
+(:func:`~repro.mr.serde.encode_kv_batch`), and the reduce side merges
+whole materialised runs instead of heap-merging record streams.
+
+The unit of vectorisation is the *type run*: a maximal stretch of
+records sharing the exact ``(type(key), type(value))`` pair.  Runs are
+described by in-memory run-length headers (:class:`RunHeader`) — they
+never reach the wire, so the frozen serde byte format and every byte
+counter are untouched; a heterogeneous batch simply degenerates to
+runs of length one handled by the scalar paths.
+
+Everything here is advisory structure for the ``REPRO_BATCH`` tier
+(:mod:`repro.mr.fastpath`); no counter is ever charged from this
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.mr import serde
+
+
+@dataclass(frozen=True)
+class RunHeader:
+    """One homogeneous type run inside a batch: ``[start, end)``."""
+
+    key_type: type
+    value_type: type
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+def kv_type_runs(
+    pairs: Sequence[tuple[Any, Any]],
+) -> Iterator[RunHeader]:
+    """Segment ``pairs`` into maximal homogeneous type runs.
+
+    The exact same segmentation the run-oriented encoder performs
+    inline; exposed so tests (and curious profilers) can inspect the
+    run structure of a workload's shuffle data.
+    """
+    n = len(pairs)
+    i = 0
+    while i < n:
+        key, value = pairs[i]
+        key_type = type(key)
+        value_type = type(value)
+        j = i + 1
+        while j < n:
+            next_key, next_value = pairs[j]
+            if (
+                type(next_key) is not key_type
+                or type(next_value) is not value_type
+            ):
+                break
+            j += 1
+        yield RunHeader(key_type, value_type, i, j)
+        i = j
+
+
+class RecordBatch:
+    """An ordered batch of ``(key, value)`` records.
+
+    Thin by design: the hot loops operate on the underlying pair list
+    directly (``batch.pairs``), so building a batch never copies the
+    records.
+    """
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs: list[tuple[Any, Any]]):
+        self.pairs = pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self.pairs)
+
+    def run_headers(self) -> list[RunHeader]:
+        """The batch's homogeneous type runs (in-memory headers only)."""
+        return list(kv_type_runs(self.pairs))
+
+    def encode(self, out: bytearray) -> list[int]:
+        """Run-oriented encode into ``out``; returns per-record sizes.
+
+        Byte-identical to the scalar ``encode_kv_into`` per record.
+        """
+        return serde.encode_kv_batch(out, self.pairs)
+
+    @classmethod
+    def from_segment_bytes(cls, raw: bytes) -> "RecordBatch":
+        """Materialise a batch from a varint-framed record stream."""
+        return cls(serde.decode_stream(raw))

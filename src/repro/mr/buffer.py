@@ -31,7 +31,7 @@ from repro.mr import fastpath, serde
 from repro.mr.api import Context
 from repro.mr.compress import get_codec
 from repro.mr.config import JobConf
-from repro.mr.merge import group_by_key, merge_sorted
+from repro.mr.merge import group_by_key, merge_runs, merge_sorted
 from repro.mr.segment import Segment, build_segment_bytes, iter_segment_bytes
 from repro.mr.storage import LocalStore
 from repro.obs.trace import current_tracer
@@ -44,6 +44,9 @@ EmitFn = Callable[[Any, Any], None]
 
 #: Sort key for the natural-order fast path: (partition, raw key).
 _PARTITION_AND_KEY = itemgetter(0, 1)
+
+#: Bound on the batched path's key→partition memo (cleared when full).
+_PARTITION_MEMO_LIMIT = 1 << 16
 
 
 class CombineRunner:
@@ -110,11 +113,16 @@ class MapOutputBuffer:
             CombineRunner(job, context) if job.combiner is not None else None
         )
         self._fast = fastpath.enabled()
+        self._batch = fastpath.batch_enabled()
         # The collect-time payload is only worth keeping when segments
         # will contain exactly the collected records: a spill-time
         # combiner rewrites them, so caching bytes would be dead weight.
         self._keep_payloads = self._fast and self._combine_runner is None
         self._scratch = bytearray()
+        #: Batched path only: key → partition memo.  Legal because the
+        #: batched tier assumes a deterministic Partitioner (the same
+        #: assumption LazySH decoding makes); unhashable keys skip it.
+        self._partition_memo: dict = {}
         self._finalized = False
 
     # -- collection ------------------------------------------------------
@@ -160,6 +168,105 @@ class MapOutputBuffer:
             or len(self._records) >= job.sort_record_limit
         ):
             self._spill()
+
+    def collect_batch(self, pairs: list) -> None:
+        """Accept a whole batch of map-output records (REPRO_BATCH).
+
+        Equivalent to calling :meth:`collect` once per pair, with the
+        per-record dispatch hoisted out of the loop: one run-oriented
+        encode for the batch, one metered partition pass, and counter
+        arithmetic carried in locals.  The analytic charges replay the
+        reference path's additions *in the same order* — the
+        ``cpu.framework.seconds`` accumulator starts from the counter's
+        running value, adds per record, and is written back at every
+        spill boundary, so the float sums are bit-identical — and the
+        spill trigger is still checked per record, so spills land on
+        exactly the same record as on the scalar path.
+        """
+        if not pairs:
+            return
+        if self._finalized:
+            raise RuntimeError("map output buffer already finalized")
+        job = self._job
+        counters = self._context.counters
+        num_reducers = job.num_reducers
+        get_partition = job.partitioner.get_partition
+        memo = self._partition_memo
+
+        def partition_batch() -> list[int]:
+            parts: list[int] = []
+            append = parts.append
+            memo_get = memo.get
+            for key, _ in pairs:
+                try:
+                    partition = memo_get(key)
+                except TypeError:  # unhashable key: no memo
+                    append(get_partition(key, num_reducers))
+                    continue
+                if partition is None:
+                    partition = get_partition(key, num_reducers)
+                    if len(memo) >= _PARTITION_MEMO_LIMIT:
+                        memo.clear()
+                    memo[key] = partition
+                append(partition)
+            return parts
+
+        partitions, cost = job.cost_meter.measure(partition_batch)
+        counters.add(C.CPU_PARTITION_SECONDS, cost)
+
+        keep = self._keep_payloads
+        scratch = self._scratch
+        scratch.clear()
+        sizes = serde.encode_kv_batch(scratch, pairs)
+        raw = bytes(scratch) if keep else b""
+
+        model = job.framework_cost_model
+        serialize_cost = model.serialize_cost
+        record_charge = model.record_cost(1)
+        values = counters.raw()
+        output_records = 0
+        output_bytes = 0
+        framework = values[C.CPU_FRAMEWORK_SECONDS]
+        buffered = self._buffered_bytes
+        limit_bytes = job.sort_buffer_bytes
+        limit_records = job.sort_record_limit
+        records = self._records
+        append = records.append
+        offset = 0
+
+        def flush_accumulators() -> None:
+            values[C.CPU_FRAMEWORK_SECONDS] = framework
+            values[C.MAP_OUTPUT_RECORDS] += output_records
+            values[C.MAP_OUTPUT_BYTES] += output_bytes
+            self._buffered_bytes = buffered
+
+        for pair, partition, size in zip(pairs, partitions, sizes):
+            if not 0 <= partition < num_reducers:
+                flush_accumulators()
+                raise ValueError(
+                    f"partitioner returned {partition} for key "
+                    f"{pair[0]!r}, outside [0, {num_reducers})"
+                )
+            if keep:
+                end = offset + size
+                append((partition, pair[0], pair[1], raw[offset:end]))
+                offset = end
+            else:
+                append((partition, pair[0], pair[1]))
+            output_records += 1
+            output_bytes += size
+            framework += serialize_cost(size) + record_charge
+            buffered += size
+            if buffered >= limit_bytes or len(records) >= limit_records:
+                flush_accumulators()
+                output_records = 0
+                output_bytes = 0
+                self._spill()
+                records = self._records
+                append = records.append
+                buffered = 0
+                framework = values[C.CPU_FRAMEWORK_SECONDS]
+        flush_accumulators()
 
     # -- spilling --------------------------------------------------------
     def _sorted_by_partition(
@@ -239,11 +346,17 @@ class MapOutputBuffer:
     ) -> Segment:
         """Serialise, compress (metered) and persist one segment."""
         buf = bytearray()
-        count = 0
-        append_record = serde.append_record
-        for key, value in records:
-            append_record(buf, key, value)
-            count += 1
+        if self._batch and type(records) is list:
+            # Batched tier: frame the whole run with one run-oriented
+            # encode (byte-identical to the per-record loop below).
+            count = len(records)
+            serde.append_records(buf, records)
+        else:
+            count = 0
+            append_record = serde.append_record
+            for key, value in records:
+                append_record(buf, key, value)
+                count += 1
         return self._persist_segment(name, partition, bytes(buf), count)
 
     def _write_segment_payloads(
@@ -328,6 +441,25 @@ class MapOutputBuffer:
         )
         yield from iter_segment_bytes(raw, get_codec(None))
 
+    def _scan_list(self, segment: Segment) -> list[tuple[Any, Any]]:
+        """Materialised twin of :meth:`_scan_metered` — same charges.
+
+        The lazy scan charges its segment at the first record pull,
+        which a heap merge performs for every input run up front (heap
+        construction), in run order; materialising eagerly in the same
+        run order therefore reproduces the exact charge sequence.
+        """
+        job = self._job
+        counters = self._context.counters
+        data = segment.read_bytes()
+        raw, cost = job.cost_meter.measure(self._codec.decompress, data)
+        counters.add(C.CPU_CODEC_SECONDS, cost)
+        counters.add(
+            C.CPU_FRAMEWORK_SECONDS,
+            job.framework_cost_model.serialize_cost(len(raw)),
+        )
+        return serde.decode_stream(raw)
+
     def _merge_partition(
         self,
         partition: int,
@@ -353,13 +485,15 @@ class MapOutputBuffer:
     ) -> Segment:
         job = self._job
         counters = self._context.counters
+        batched = self._batch
         intermediate = 0
         # Multi-pass merge when there are more runs than the merge factor.
+        # The batched tier materialises the runs and run-merges them
+        # (concat + stable sort); the charge order is unchanged — the
+        # merge cost first, then each run's scan charges in run order —
+        # matching when the lazy heap merge would pull them.
         while len(segments) > job.merge_factor:
             batch, segments = segments[: job.merge_factor], segments[job.merge_factor:]
-            merged = merge_sorted(
-                [self._scan_metered(seg) for seg in batch], job.comparator
-            )
             name = f"{self._task_id}/inter{intermediate}/p{partition}"
             intermediate += 1
             total_records = sum(seg.record_count for seg in batch)
@@ -367,25 +501,41 @@ class MapOutputBuffer:
                 C.CPU_FRAMEWORK_SECONDS,
                 job.framework_cost_model.merge_cost(total_records, len(batch)),
             )
+            if batched:
+                merged: Iterable[tuple[Any, Any]] = merge_runs(
+                    [self._scan_list(seg) for seg in batch], job.comparator
+                )
+            else:
+                merged = merge_sorted(
+                    [self._scan_metered(seg) for seg in batch],
+                    job.comparator,
+                )
             segments.append(self._write_segment(name, partition, merged))
             for seg in batch:
                 seg.delete()
 
-        merged = merge_sorted(
-            [self._scan_metered(seg) for seg in segments], job.comparator
-        )
         total_records = sum(seg.record_count for seg in segments)
         counters.add(
             C.CPU_FRAMEWORK_SECONDS,
             job.framework_cost_model.merge_cost(total_records, len(segments)),
         )
+        if batched:
+            merged = merge_runs(
+                [self._scan_list(seg) for seg in segments], job.comparator
+            )
+        else:
+            merged = merge_sorted(
+                [self._scan_metered(seg) for seg in segments], job.comparator
+            )
         if apply_combine and self._combine_runner is not None:
             records: list[tuple[Any, Any]] = []
-            groups = group_by_key(merged, job.effective_grouping_comparator)
+            groups = group_by_key(
+                iter(merged), job.effective_grouping_comparator
+            )
             self._combine_runner.run(
                 partition, groups, lambda k, v: records.append((k, v))
             )
-            merged = iter(records)
+            merged = records
         name = f"{self._task_id}/out/p{partition}"
         final = self._write_segment(name, partition, merged)
         for seg in segments:

@@ -79,6 +79,17 @@ class Counters:
         """Current value of counter ``name`` (0 if never incremented)."""
         return self._values.get(name, 0)
 
+    def raw(self) -> dict[str, float]:
+        """The live underlying mapping.
+
+        For engine hot loops (the batched dataflow) that accumulate a
+        counter in a local and write it back, replaying the reference
+        path's per-record float additions in the same order without a
+        method call per record.  Mutating the mapping is equivalent to
+        :meth:`add`; reading a missing name yields (and stores) ``0``.
+        """
+        return self._values
+
     def get_int(self, name: str) -> int:
         """Integer value of counter ``name``."""
         return int(self._values.get(name, 0))

@@ -25,7 +25,11 @@ from repro.mr.executor import (
     default_executor_spec,
 )
 from repro.mr.runtime_model import ClusterModel, RuntimeEstimate, TaskCost
-from repro.mr.scheduler import FaultPolicy, JobScheduler
+from repro.mr.scheduler import (
+    FaultPolicy,
+    JobScheduler,
+    require_monoidal_combiner,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import (
     NullTracer,
@@ -67,12 +71,27 @@ class JobResult:
         return result
 
     def sorted_output(self) -> list[Record]:
-        """Job output as a canonically-ordered list (for comparisons)."""
+        """Job output as a canonically-ordered list (for comparisons).
+
+        Records are ordered by their serialised bytes; the encode runs
+        as one run-oriented batch and the sort permutes indices, so
+        equal-key ties keep their stable order without ever comparing
+        the (possibly uncomparable) record objects themselves.
+        """
         from repro.mr import serde
 
-        return sorted(
-            self.output, key=lambda record: serde.encode_kv(*record)
-        )
+        output = self.output
+        scratch = bytearray()
+        sizes = serde.encode_kv_batch(scratch, output)
+        data = bytes(scratch)
+        keys: list[bytes] = []
+        offset = 0
+        for size in sizes:
+            end = offset + size
+            keys.append(data[offset:end])
+            offset = end
+        order = sorted(range(len(output)), key=keys.__getitem__)
+        return [output[index] for index in order]
 
     # -- convenience accessors for the paper's reported quantities ------
     @property
@@ -184,6 +203,11 @@ class LocalJobRunner:
         splits: Sequence[Iterable[Record]],
     ) -> JobResult:
         """Run ``job`` over ``splits`` (one map task per split)."""
+        # In-node combining legality is checked before any work is
+        # scheduled: an illegal configuration fails here, not after an
+        # entire map wave has already run.
+        if job.innode_combining:
+            require_monoidal_combiner(job)
         executor, owned = self._resolve_executor(job)
         # Tracer resolution: an explicit tracer wins; otherwise a
         # process-wide trace collector (the CLI's ``--trace``) turns

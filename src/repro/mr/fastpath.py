@@ -15,6 +15,15 @@ via :func:`set_enabled` / the :func:`disabled` context manager.
 Implementation notes: hot code reads the flag once per task phase (not
 per record), so flipping it mid-task is unsupported; flip it between
 jobs, as the tests do.
+
+A second, stricter tier — the *batched* record dataflow (DESIGN.md
+§11): run-oriented encode, ``collect_batch``, list-based run merges
+and batched group iteration — has its own toggle, ``REPRO_BATCH``.
+The batched paths refine the fast paths rather than replace them, so
+:func:`batch_enabled` is only true when *both* toggles are on.  The
+batched tier additionally assumes a deterministic Partitioner (the
+same assumption LazySH decoding already makes): partition assignments
+may be memoised per key.
 """
 
 from __future__ import annotations
@@ -23,11 +32,17 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
-_enabled: bool = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in (
-    "0",
-    "false",
-    "off",
-)
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
+_enabled: bool = _env_flag("REPRO_FASTPATH")
+_batch_enabled: bool = _env_flag("REPRO_BATCH")
 
 
 def enabled() -> bool:
@@ -61,3 +76,44 @@ def forced(value: bool) -> Iterator[None]:
         yield
     finally:
         set_enabled(previous)
+
+
+# -- the batched-dataflow tier (REPRO_BATCH) -------------------------------
+
+
+def batch_enabled() -> bool:
+    """Whether the batched record dataflow is active.
+
+    The batched paths build on the fast paths (cached payloads, raw-key
+    orders), so they require ``REPRO_FASTPATH`` too: with the fast
+    paths off this is always ``False``.
+    """
+    return _enabled and _batch_enabled
+
+
+def set_batch_enabled(value: bool) -> None:
+    """Turn the batched dataflow on or off process-wide."""
+    global _batch_enabled
+    _batch_enabled = bool(value)
+
+
+@contextmanager
+def batch_disabled() -> Iterator[None]:
+    """Run a block without the batched paths (restores the setting)."""
+    previous = _batch_enabled
+    set_batch_enabled(False)
+    try:
+        yield
+    finally:
+        set_batch_enabled(previous)
+
+
+@contextmanager
+def batch_forced(value: bool) -> Iterator[None]:
+    """Run a block with the batch toggle pinned to ``value``."""
+    previous = _batch_enabled
+    set_batch_enabled(value)
+    try:
+        yield
+    finally:
+        set_batch_enabled(previous)

@@ -46,6 +46,55 @@ def merge_sorted(
     return heapq.merge(*streams, key=merge_key_fn(comparator))
 
 
+def merge_runs(
+    runs: list[list[tuple[Any, Any]]],
+    comparator: Comparator,
+) -> list[tuple[Any, Any]]:
+    """Batched run merge: concatenate materialised runs and stable-sort.
+
+    Produces exactly :func:`merge_sorted`'s record order for runs given
+    in stream order: both are stable merges under
+    :func:`merge_key_fn`'s ordering, breaking ties by (run index,
+    position within run) — which is precisely concatenation order, so
+    a stable sort of the concatenation cannot move any record relative
+    to the heap merge.  Timsort's galloping makes this far cheaper
+    than a Python-level heap walk per record (the batched dataflow's
+    run-merge, DESIGN.md §11).
+    """
+    if len(runs) == 1:
+        return runs[0]
+    merged: list[tuple[Any, Any]] = []
+    for run in runs:
+        merged.extend(run)
+    merged.sort(key=merge_key_fn(comparator))
+    return merged
+
+
+def group_runs(
+    records: list[tuple[Any, Any]],
+) -> Iterator[tuple[Any, list[Any]]]:
+    """Batched group iteration over a materialised sorted run.
+
+    Natural-grouping twin of :func:`group_by_key` operating on a list:
+    group boundaries are found by scanning indices and each group's
+    values are built in one comprehension over the run slice.  Callers
+    gate on ``grouping_comparator.is_natural`` (equality is the inline
+    ``not (a < b or a > b)``, exactly the natural comparator's 0).
+    """
+    n = len(records)
+    i = 0
+    while i < n:
+        key = records[i][0]
+        j = i + 1
+        while j < n:
+            next_key = records[j][0]
+            if next_key < key or next_key > key:
+                break
+            j += 1
+        yield key, [record[1] for record in records[i:j]]
+        i = j
+
+
 def group_by_key(
     records: Iterator[tuple[Any, Any]],
     grouping_comparator: Comparator,

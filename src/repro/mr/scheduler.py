@@ -26,9 +26,14 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.mr import counters as C
 from repro.mr import events as E
-from repro.mr.config import JobConf
+from repro.mr import serde
+from repro.mr.api import Context
+from repro.mr.buffer import CombineRunner
+from repro.mr.compress import get_codec
+from repro.mr.config import JobConf, JobConfError
 from repro.mr.counters import Counters
 from repro.mr.events import EventLog, TaskEvent
+from repro.mr.merge import group_by_key, merge_runs
 from repro.mr.executor import (
     CompletedFuture,
     Executor,
@@ -40,7 +45,8 @@ from repro.mr.executor import (
 from repro.mr.maptask import MapTask, MapTaskResult
 from repro.mr.reducetask import ReduceTask, ReduceTaskResult
 from repro.mr.runtime_model import TaskCost
-from repro.mr.segment import SegmentPayload
+from repro.mr.segment import SegmentPayload, export_segment, write_segment
+from repro.mr.storage import LocalStore
 from repro.obs.metrics import (
     ATTEMPT_OUTCOMES,
     MetricsRegistry,
@@ -55,6 +61,133 @@ from repro.obs.trace import (
 )
 
 Record = tuple[Any, Any]
+
+
+def require_monoidal_combiner(job: JobConf) -> None:
+    """Fail fast unless ``job`` may legally use in-node combining.
+
+    The stage re-combines already-combined output across co-located
+    map tasks, which is lossless only for combiners whose class
+    declares ``monoidal = True`` (see :class:`repro.mr.api.Combiner`).
+    """
+    combiner = job.make_combiner()
+    if combiner is None or not getattr(type(combiner), "monoidal", False):
+        name = type(combiner).__name__ if combiner is not None else "None"
+        raise JobConfError(
+            "innode_combining requires a combiner whose class declares "
+            f"monoidal = True; {name} does not"
+        )
+
+
+def _innode_combine(
+    job: JobConf,
+    map_results: "Sequence[MapTaskResult]",
+    tracer: Tracer,
+) -> tuple[list[dict[int, SegmentPayload]], Counters]:
+    """Node-level in-node combining stage (DESIGN.md §11).
+
+    Groups the finished map tasks into simulated nodes
+    (``innode_fanin`` consecutive tasks per node), merges each node's
+    per-partition segments and runs the job's combiner once more over
+    the merged stream before anything crosses the shuffle.  Legal only
+    for combiners whose class declares ``monoidal = True`` — the stage
+    re-combines already-combined output, which is lossless exactly for
+    monoidal folds (the Anti-Combiner, being stateful and
+    partition-aware, must never be run here).
+
+    Accounting mirrors a map-side merge pass: the analytic merge cost
+    is charged before the segment scans (the framework counter's
+    float-add order is therefore fixed), each input segment costs one
+    node-local disk read plus metered decompression and the parse's
+    framework cost, the combiner runs through the standard
+    :class:`~repro.mr.buffer.CombineRunner` (``combine.*`` records,
+    metered ``cpu.combine.seconds``), and the combined segment is one
+    node-local disk write.  No charge depends on the fast-path or
+    batch toggles, so the stage's counters are invariant across tiers
+    by construction.
+
+    Returns the per-node shuffle sources (node order) and the stage's
+    counters, which the caller folds after the map-task counters.
+    """
+    require_monoidal_combiner(job)
+    fanin = job.innode_fanin
+    counters = Counters()
+    model = job.framework_cost_model
+    codec = get_codec(job.map_output_codec)
+    grouping = job.effective_grouping_comparator
+    meter = job.cost_meter
+    with tracer.span("shuffle.innode.plan", category="scheduler") as plan:
+        nodes = [
+            list(map_results[index : index + fanin])
+            for index in range(0, len(map_results), fanin)
+        ]
+        plan.set(nodes=len(nodes), fanin=fanin)
+    combined: list[dict[int, SegmentPayload]] = []
+    for node_index, node_results in enumerate(nodes):
+        node_id = f"node{node_index}"
+        store = LocalStore(counters, node=node_id)
+        context = Context(
+            counters=counters,
+            sink=lambda key, value: None,
+            partitioner=job.partitioner,
+            num_partitions=job.num_reducers,
+            task_id=node_id,
+            store=store,
+        )
+        runner = CombineRunner(job, context)
+        node_segments: dict[int, SegmentPayload] = {}
+        partitions = sorted(
+            {
+                partition
+                for result in node_results
+                for partition in result.segments
+            }
+        )
+        for partition in partitions:
+            payloads = [
+                result.segments[partition]
+                for result in node_results
+                if partition in result.segments
+            ]
+            with tracer.span(
+                "shuffle.innode.combine",
+                category="scheduler",
+                node=node_id,
+                partition=partition,
+                runs=len(payloads),
+            ) as span:
+                segments = [
+                    payload.to_segment(store) for payload in payloads
+                ]
+                total_records = sum(seg.record_count for seg in segments)
+                counters.add(
+                    C.CPU_FRAMEWORK_SECONDS,
+                    model.merge_cost(total_records, len(segments)),
+                )
+                runs = []
+                for seg in segments:
+                    data = seg.read_bytes()  # node-local disk read
+                    raw, cost = meter.measure(seg.codec.decompress, data)
+                    counters.add(C.CPU_CODEC_SECONDS, cost)
+                    counters.add(
+                        C.CPU_FRAMEWORK_SECONDS,
+                        model.serialize_cost(len(raw)),
+                    )
+                    runs.append(serde.decode_stream(raw))
+                merged = merge_runs(runs, job.comparator)
+                out: list[tuple[Any, Any]] = []
+                runner.run(
+                    partition,
+                    group_by_key(iter(merged), grouping),
+                    lambda key, value: out.append((key, value)),
+                )
+                segment = write_segment(
+                    store, f"{node_id}/innode{partition}", partition, out, codec
+                )
+                node_segments[partition] = export_segment(segment, node_id)
+                span.set(records_in=total_records, records_out=len(out))
+        combined.append(node_segments)
+    return combined, counters
 
 #: Seconds between polls of in-flight futures when nothing is ready.
 _POLL_TICK = 0.002
@@ -889,13 +1022,25 @@ class JobScheduler:
             for result in map_results
         ]
 
-        # Shuffle plan: segments for each partition, in map-task order.
+        # In-node combining (optional): merge and re-combine the map
+        # outputs of co-located tasks before anything is shuffled.
+        innode_counters: Counters | None = None
+        segment_sources: list[dict[int, SegmentPayload]] = [
+            result.segments for result in map_results
+        ]
+        if job.innode_combining:
+            segment_sources, innode_counters = _innode_combine(
+                job, map_results, tracer
+            )
+
+        # Shuffle plan: segments for each partition, in map-task (or,
+        # with in-node combining, node) order.
         with tracer.span("shuffle.plan", category="scheduler"):
             shuffle_plan: list[list[SegmentPayload]] = [
                 [
-                    result.segments[partition]
-                    for result in map_results
-                    if partition in result.segments
+                    source[partition]
+                    for source in segment_sources
+                    if partition in source
                 ]
                 for partition in range(job.num_reducers)
             ]
@@ -945,6 +1090,10 @@ class JobScheduler:
         metrics = MetricsRegistry()
         for result in map_results:
             metrics.merge_counters(result.counters)
+        if innode_counters is not None:
+            # The in-node stage sits between the waves; its counters
+            # fold in the same place, keeping the fold deterministic.
+            metrics.merge_counters(innode_counters)
         for result in reduce_results:
             metrics.merge_counters(result.counters)
         for result in reduce_results:

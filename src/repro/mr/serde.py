@@ -780,6 +780,7 @@ def register_extension(ext_id: int, cls: type) -> None:
     _EXTENSION_BY_CLS[cls] = extension
     _ENCODERS[cls] = _make_ext_encoder(ext_id)
     _DECODERS[_TAG_EXT_BASE | ext_id] = _make_ext_decoder(extension)
+    _APPROX_SIZERS[cls] = _approx_ext
 
 
 # -- public API ------------------------------------------------------------
@@ -939,6 +940,80 @@ def decode_kv(data: Any) -> tuple[Any, Any]:
     return key, value
 
 
+def encode_kv_batch(out: bytearray, pairs: Any) -> list[int]:
+    """Append the encoding of every ``(key, value)`` record in ``pairs``
+    to ``out``; return the per-record payload sizes.
+
+    This is the run-oriented encoder of the batched dataflow (DESIGN.md
+    §11).  The batch is segmented into *runs* of identical ``(key type,
+    value type)`` — in-memory run-length type headers — and each run is
+    encoded with one encoder dispatch instead of one per record; the
+    dominant shuffle shape (``str`` key, ``str`` value) is fully
+    inlined.  A heterogeneous tail degenerates to runs of length one
+    and falls back to the scalar entry point, so the output is
+    byte-identical to calling :func:`encode_kv_into` once per record —
+    the on-disk format never changes.
+    """
+    sizes: list[int] = []
+    n = len(pairs)
+    if not n:
+        return sizes
+    append = out.append
+    sizes_append = sizes.append
+    get = _ENCODERS.get
+    i = 0
+    while i < n:
+        key, value = pairs[i]
+        key_kind = type(key)
+        value_kind = type(value)
+        j = i + 1
+        while j < n:
+            next_key, next_value = pairs[j]
+            if (
+                type(next_key) is not key_kind
+                or type(next_value) is not value_kind
+            ):
+                break
+            j += 1
+        if j - i == 1:
+            # Heterogeneous tail / singleton run: the scalar path.
+            sizes_append(encode_kv_into(out, key, value))
+            i = j
+            continue
+        if key_kind is str and value_kind is str:
+            for index in range(i, j):
+                key, value = pairs[index]
+                before = len(out)
+                raw = key.encode("utf-8")
+                append(0x05)  # _TAG_STR
+                size = len(raw)
+                while size > 0x7F:
+                    append(size & 0x7F | 0x80)
+                    size >>= 7
+                append(size)
+                out += raw
+                raw = value.encode("utf-8")
+                append(0x05)  # _TAG_STR
+                size = len(raw)
+                while size > 0x7F:
+                    append(size & 0x7F | 0x80)
+                    size >>= 7
+                append(size)
+                out += raw
+                sizes_append(len(out) - before)
+        else:
+            enc_key = get(key_kind, _encode_fallback)
+            enc_value = get(value_kind, _encode_fallback)
+            for index in range(i, j):
+                key, value = pairs[index]
+                before = len(out)
+                enc_key(out, key)
+                enc_value(out, value)
+                sizes_append(len(out) - before)
+        i = j
+    return sizes
+
+
 # -- framed record streams -------------------------------------------------
 #
 # Segments and spill runs store records as varint(length) + record
@@ -968,6 +1043,31 @@ def append_record(out: bytearray, key: Any, value: Any) -> int:
     else:
         out[pos] = length
     return length
+
+
+def append_records(out: bytearray, pairs: Any) -> list[int]:
+    """Append a whole batch of varint-framed records to ``out``; return
+    the per-record payload sizes.
+
+    Byte-identical to calling :func:`append_record` once per record:
+    the batch is encoded run-oriented (:func:`encode_kv_batch`) into a
+    scratch buffer and then framed from the recorded sizes, so the
+    placeholder-patching of the scalar path is not needed.
+    """
+    scratch = bytearray()
+    sizes = encode_kv_batch(scratch, pairs)
+    view = memoryview(scratch)
+    append = out.append
+    offset = 0
+    for size in sizes:
+        if size > 0x7F:
+            write_varint(out, size)
+        else:
+            append(size)
+        end = offset + size
+        out += view[offset:end]
+        offset = end
+    return sizes
 
 
 def decode_stream(data: Any) -> list[tuple[Any, Any]]:
@@ -1167,8 +1267,66 @@ def approx_size(obj: Any) -> int:
 
     Used for advisory memory accounting (e.g. the Shared structure's
     spill trigger) where a full serialisation pass per record would
-    dominate the cost being modelled.
+    dominate the cost being modelled.  Dispatch is an exact-type table
+    (this is one of the hottest calls of the Anti decode path); the
+    estimates themselves are unchanged, so every size-derived trigger —
+    notably ``Shared``'s analytic spill counters — fires at exactly the
+    same record as before.
     """
+    sizer = _APPROX_SIZERS.get(type(obj))
+    if sizer is not None:
+        return sizer(obj)
+    return _approx_size_fallback(obj)
+
+
+def _approx_one(obj: Any) -> int:
+    return 1
+
+
+def _approx_int(obj: Any) -> int:
+    return 1 + max(1, (obj.bit_length() + 7) // 7)
+
+
+def _approx_float(obj: Any) -> int:
+    return 9
+
+
+def _approx_sized(obj: Any) -> int:
+    return 2 + len(obj)
+
+
+def _approx_seq(obj: Any) -> int:
+    return 2 + sum(map(approx_size, obj))
+
+
+def _approx_dict(obj: Any) -> int:
+    total = 2
+    for key, value in obj.items():
+        total += approx_size(key) + approx_size(value)
+    return total
+
+
+def _approx_ext(obj: Any) -> int:
+    return 1 + sum(map(approx_size, obj))
+
+
+_APPROX_SIZERS: dict[type, Callable[[Any], int]] = {
+    type(None): _approx_one,
+    bool: _approx_one,
+    int: _approx_int,
+    float: _approx_float,
+    str: _approx_sized,
+    bytes: _approx_sized,
+    tuple: _approx_seq,
+    list: _approx_seq,
+    frozenset: _approx_seq,
+    dict: _approx_dict,
+}
+
+
+def _approx_size_fallback(obj: Any) -> int:
+    """Exact-type dispatch missed: the original isinstance ladder, for
+    subclasses (IntEnum, unregistered NamedTuples, ...)."""
     if type(obj) in _EXTENSION_BY_CLS:
         return 1 + sum(approx_size(item) for item in obj)
     if obj is None or isinstance(obj, bool):

@@ -139,6 +139,21 @@ class SpillWriter:
         self._count += 1
         return len(self._buf) - before
 
+    def append_batch(self, pairs) -> int:
+        """Append a batch of records; return their total on-disk size.
+
+        Run-oriented twin of :meth:`append` (batched dataflow,
+        DESIGN.md §11): one :func:`serde.append_records` call frames
+        and encodes the whole batch, byte-identical to appending the
+        records one by one.
+        """
+        if self._closed:
+            raise StorageError(f"spill {self.name} already closed")
+        before = len(self._buf)
+        serde.append_records(self._buf, pairs)
+        self._count += len(pairs)
+        return len(self._buf) - before
+
     def append_encoded(self, payload: bytes) -> int:
         """Append one already-serialised record payload."""
         if self._closed:

@@ -24,7 +24,6 @@ sharing) or 5 ("Prefix-5", sharing with more parallelism).
 from __future__ import annotations
 
 from functools import partial
-from collections import Counter
 from typing import Any, Iterator
 
 from repro.mr.api import (
@@ -42,27 +41,39 @@ class QuerySuggestionMapper(Mapper):
     """Emit ``(prefix, query)`` for every prefix of the query."""
 
     def map(self, key: Any, query: str, context: Context) -> None:
+        write = context.write
         for end in range(1, len(query) + 1):
-            context.write(query[:end], query)
+            write(query[:end], query)
 
 
-def _merge_counts(values: Iterator[Any]) -> Counter:
-    """Fold raw query strings and ``{query: m}`` maps into one Counter."""
-    counts: Counter = Counter()
+def _merge_counts(values: Iterator[Any]) -> dict:
+    """Fold raw query strings and ``{query: m}`` maps into one dict.
+
+    A plain dict with ``get`` beats ``collections.Counter`` here:
+    Counter's missing-key path costs a ``__missing__`` call per new
+    query, and this fold runs once per reduce group.
+    """
+    counts: dict = {}
+    get = counts.get
     for value in values:
         if isinstance(value, dict):
             for query, count in value.items():
-                counts[query] += count
+                counts[query] = get(query, 0) + count
         else:
-            counts[value] += 1
+            counts[value] = get(value, 0) + 1
     return counts
 
 
 class QuerySuggestionCombiner(Combiner):
     """Replace repeated queries in a group with one frequency map."""
 
+    #: Count-dict union is a commutative monoid (identity: empty dict),
+    #: so re-combining combined output is lossless and node-level
+    #: in-node combining is legal for this workload.
+    monoidal = True
+
     def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
-        context.write(key, dict(_merge_counts(values)))
+        context.write(key, _merge_counts(values))
 
 
 class QuerySuggestionReducer(Reducer):
@@ -77,8 +88,14 @@ class QuerySuggestionReducer(Reducer):
 
     def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
         counts = _merge_counts(values)
-        top = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
-        context.write(key, [query for query, _ in top[: self.k]])
+        # Two stable sorts give (count desc, query asc) without a
+        # per-item key tuple: lexicographic first, then by count with
+        # ``reverse=True`` (which keeps equal counts in lexicographic
+        # order — ``reverse`` does not disturb stability).
+        top = sorted(counts)
+        if len(top) > 1:
+            top.sort(key=counts.__getitem__, reverse=True)
+        context.write(key, top[: self.k])
 
 
 class PrefixPartitioner(Partitioner):

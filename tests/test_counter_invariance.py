@@ -8,8 +8,10 @@ the fast paths on or off, and therefore so must every analytic cost.
 
 This test runs the Figure 9 workload — all four strategies crossed
 with all three partitioners, with a sort buffer small enough to force
-map-side spills and multi-pass merges — once with the fast paths
-enabled and once with them disabled, and diffs every counter.
+map-side spills and multi-pass merges — once per data-plane tier
+(reference / fast paths / fast paths + ``REPRO_BATCH`` batched
+dataflow) and diffs every counter; an extra leg repeats the matrix
+with node-level in-node combining enabled.
 
 Only the measured-CPU counters are excluded: those are wall-clock
 *measurements* of user/framework code (that the fast paths exist to
@@ -61,14 +63,49 @@ def _analytic_counters(run) -> dict:
     }
 
 
-def _measure(job, flag: bool):
-    with fastpath.forced(flag):
+def _measure(job, fast: bool, batch: bool = False):
+    with fastpath.forced(fast), fastpath.batch_forced(batch):
         return measure_job("invariance", job, _splits())
+
+
+#: The three data-plane tiers the invariance contract spans:
+#: reference, fast paths, fast paths + batched dataflow (REPRO_BATCH).
+TIERS = (
+    ("reference", False, False),
+    ("fast", True, False),
+    ("batch", True, True),
+)
+
+
+def _assert_tiers_identical(job, label: str) -> dict:
+    """Run ``job`` on every tier; assert counters and output match.
+
+    Returns the reference tier's analytic counters so callers can add
+    workload-shape assertions.
+    """
+    runs = {
+        name: _measure(job, fast, batch) for name, fast, batch in TIERS
+    }
+    reference = runs["reference"]
+    ref_counters = _analytic_counters(reference)
+    ref_output = reference.result.sorted_output()
+    for name in ("fast", "batch"):
+        tier_counters = _analytic_counters(runs[name])
+        diff = {
+            key: (ref_counters.get(key), tier_counters.get(key))
+            for key in set(ref_counters) | set(tier_counters)
+            if ref_counters.get(key) != tier_counters.get(key)
+        }
+        assert not diff, f"{label} {name}-tier counter drift: {diff}"
+        assert runs[name].result.sorted_output() == ref_output, (
+            f"{label} {name}-tier output drift"
+        )
+    return ref_counters
 
 
 @pytest.mark.parametrize("part_name", list(partitioner_lineup()))
 @pytest.mark.parametrize("strategy", STRATEGIES)
-def test_counters_identical_fast_on_and_off(part_name, strategy) -> None:
+def test_counters_identical_across_tiers(part_name, strategy) -> None:
     partitioner = partitioner_lineup()[part_name]
     job = strategy_variants(
         query_suggestion_job(
@@ -78,24 +115,51 @@ def test_counters_identical_fast_on_and_off(part_name, strategy) -> None:
         )
     )[strategy]
 
-    reference = _measure(job, False)
-    fast = _measure(job, True)
-
-    ref_counters = _analytic_counters(reference)
-    fast_counters = _analytic_counters(fast)
-    diff = {
-        name: (ref_counters.get(name), fast_counters.get(name))
-        for name in set(ref_counters) | set(fast_counters)
-        if ref_counters.get(name) != fast_counters.get(name)
-    }
-    assert not diff, f"{part_name}/{strategy} counter drift: {diff}"
-    assert reference.result.sorted_output() == fast.result.sorted_output()
+    ref_counters = _assert_tiers_identical(job, f"{part_name}/{strategy}")
 
     # The workload must actually exercise the spill/merge paths for the
     # invariance to mean anything.
     assert any(
         "spill" in name and value for name, value in ref_counters.items()
     ), "test inputs no longer force spills — shrink sort_buffer_bytes"
+
+
+@pytest.mark.parametrize("part_name", list(partitioner_lineup()))
+def test_innode_combining_counters_identical_across_tiers(
+    part_name,
+) -> None:
+    """The in-node combining leg: its stage charges are analytic and
+    flag-independent, so the tier invariance must hold with the stage
+    enabled too — and its output must match the non-in-node job's.
+    """
+    partitioner = partitioner_lineup()[part_name]
+    job = query_suggestion_job(
+        num_reducers=NUM_REDUCERS,
+        partitioner=partitioner,
+        with_combiner=True,
+        sort_buffer_bytes=SORT_BUFFER_BYTES,
+        innode_combining=True,
+        innode_fanin=2,
+    )
+    _assert_tiers_identical(job, f"{part_name}/innode")
+
+    plain = query_suggestion_job(
+        num_reducers=NUM_REDUCERS,
+        partitioner=partitioner,
+        with_combiner=True,
+        sort_buffer_bytes=SORT_BUFFER_BYTES,
+    )
+    innode_run = _measure(job, True, True)
+    plain_run = _measure(plain, True, True)
+    assert (
+        innode_run.result.sorted_output()
+        == plain_run.result.sorted_output()
+    ), f"{part_name}: in-node combining changed the job output"
+    # The stage actually combined something: co-located map outputs
+    # shrink the shuffle relative to the plain combiner job.
+    assert (
+        innode_run.result.shuffle_bytes < plain_run.result.shuffle_bytes
+    ), f"{part_name}: in-node combining did not reduce shuffle bytes"
 
 
 def test_speculative_execution_preserves_counters() -> None:

@@ -180,3 +180,205 @@ class TestFastPathParity:
             except serde.SerdeError:
                 continue
             raise AssertionError(f"truncation by {chop} not detected")
+
+
+# -- batched-dataflow parity (REPRO_BATCH, DESIGN.md §11) ------------------
+#
+# The run-oriented encoders must be byte-identical to the scalar entry
+# points — and therefore to `serde_ref` — for every batch shape: empty,
+# homogeneous, and heterogeneous tails that degenerate to runs of
+# length one.
+
+from repro.mr.batch import RecordBatch, kv_type_runs  # noqa: E402
+
+_records = st.lists(st.tuples(_objects, _objects), max_size=12)
+
+
+def _ref_framed(records) -> bytes:
+    out = bytearray()
+    for key, value in records:
+        raw = serde_ref.encode_kv(key, value)
+        serde_ref.write_varint(out, len(raw))
+        out.extend(raw)
+    return bytes(out)
+
+
+class TestBatchEncoderParity:
+    @settings(max_examples=300, deadline=None)
+    @given(_records)
+    def test_encode_kv_batch_matches_reference(self, records) -> None:
+        """Payload bytes and per-record sizes match the scalar path."""
+        batch_out = bytearray()
+        sizes = serde.encode_kv_batch(batch_out, records)
+        ref_out = bytearray()
+        ref_sizes = [
+            serde.encode_kv_into(ref_out, key, value)
+            for key, value in records
+        ]
+        assert bytes(batch_out) == bytes(ref_out)
+        assert sizes == ref_sizes
+        assert bytes(ref_out) == b"".join(
+            serde_ref.encode_kv(k, v) for k, v in records
+        )
+
+    @settings(max_examples=300, deadline=None)
+    @given(_records)
+    def test_append_records_matches_reference_framing(self, records) -> None:
+        out = bytearray()
+        sizes = serde.append_records(out, records)
+        assert bytes(out) == _ref_framed(records)
+        assert sizes == [serde.record_size(k, v) for k, v in records]
+        assert serde.decode_stream(out) == list(records)
+
+    def test_empty_batch(self) -> None:
+        out = bytearray(b"prefix")
+        assert serde.encode_kv_batch(out, []) == []
+        assert serde.append_records(out, []) == []
+        assert bytes(out) == b"prefix"
+        batch = RecordBatch([])
+        assert len(batch) == 0
+        assert batch.run_headers() == []
+
+    def test_heterogeneous_tail_degenerates_to_scalar_runs(self) -> None:
+        """A type change mid-batch splits the run; singleton runs take
+        the scalar fallback and stay byte-identical."""
+        records = [
+            ("a", "x"),
+            ("b", "y"),  # str/str run of 2
+            ("c", 1),  # singleton: value type flips
+            (2, "d"),  # singleton: key type flips
+            (3, 4),
+            (5, 6),  # int/int run of 2
+        ]
+        headers = list(kv_type_runs(records))
+        assert [(len(h), h.key_type, h.value_type) for h in headers] == [
+            (2, str, str),
+            (1, str, int),
+            (1, int, str),
+            (2, int, int),
+        ]
+        out = bytearray()
+        sizes = serde.encode_kv_batch(out, records)
+        ref = bytearray()
+        ref_sizes = [
+            serde.encode_kv_into(ref, k, v) for k, v in records
+        ]
+        assert bytes(out) == bytes(ref)
+        assert sizes == ref_sizes
+
+    @settings(max_examples=200, deadline=None)
+    @given(_records)
+    def test_run_headers_cover_batch_exactly(self, records) -> None:
+        headers = RecordBatch(list(records)).run_headers()
+        assert sum(len(h) for h in headers) == len(records)
+        position = 0
+        for header in headers:
+            assert header.start == position
+            assert header.end > header.start
+            for index in range(header.start, header.end):
+                key, value = records[index]
+                assert type(key) is header.key_type
+                assert type(value) is header.value_type
+            position = header.end
+        # Maximality: adjacent runs differ in at least one type.
+        for left, right in zip(headers, headers[1:]):
+            assert (
+                left.key_type is not right.key_type
+                or left.value_type is not right.value_type
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(_records)
+    def test_record_batch_round_trip(self, records) -> None:
+        out = bytearray()
+        serde.append_records(out, records)
+        assert RecordBatch.from_segment_bytes(bytes(out)).pairs == list(
+            records
+        )
+
+
+class TestBufferBatchParity:
+    """collect() vs collect_batch() across spill-flush boundaries."""
+
+    @staticmethod
+    def _run_collect(records, batched: bool, sort_buffer_bytes: int):
+        from repro.mr import fastpath
+        from repro.mr.api import Context, Mapper, Partitioner, Reducer
+        from repro.mr.buffer import MapOutputBuffer
+        from repro.mr.config import JobConf
+        from repro.mr.counters import Counters
+        from repro.mr.cost import FixedCostMeter
+        from repro.mr.storage import LocalStore
+
+        class ModPartitioner(Partitioner):
+            def get_partition(self, key, num_partitions):
+                return serde.record_size(key, None) % num_partitions
+
+        job = JobConf(
+            mapper=Mapper,
+            reducer=Reducer,
+            partitioner=ModPartitioner(),
+            num_reducers=3,
+            cost_meter=FixedCostMeter(),
+            sort_buffer_bytes=sort_buffer_bytes,
+        )
+        counters = Counters()
+        store = LocalStore(counters)
+        context = Context(
+            counters=counters,
+            sink=lambda k, v: None,
+            partitioner=job.partitioner,
+            num_partitions=job.num_reducers,
+            task_id="map0",
+            store=store,
+        )
+        buffer = MapOutputBuffer(job, store, context, "map0")
+        with fastpath.forced(True), fastpath.batch_forced(batched):
+            if batched:
+                # Split into two batches so runs span the flush point.
+                middle = len(records) // 2
+                buffer.collect_batch(list(records[:middle]))
+                buffer.collect_batch(list(records[middle:]))
+            else:
+                for key, value in records:
+                    buffer.collect(key, value)
+            segments = buffer.finalize()
+        payload = {
+            partition: segment.read_bytes()
+            for partition, segment in sorted(segments.items())
+        }
+        # Measured-CPU counters are wall-clock measurements the batched
+        # tier is allowed to shrink (e.g. memoised partition calls);
+        # everything else — bytes, records, spills, framework charges —
+        # must be bit-identical (DESIGN.md §8).
+        measured = (
+            "cpu.map.seconds",
+            "cpu.reduce.seconds",
+            "cpu.combine.seconds",
+            "cpu.partition.seconds",
+            "cpu.codec.seconds",
+        )
+        analytic = {
+            name: value
+            for name, value in counters.as_dict().items()
+            if not name.startswith(measured)
+        }
+        return payload, analytic, buffer.spill_count
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.text(max_size=12), st.text(max_size=12)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.sampled_from([1024, 4096, 64 * 1024]),
+    )
+    def test_batched_collect_byte_identical(
+        self, records, sort_buffer_bytes
+    ) -> None:
+        """Same segment bytes, same counters, same spill count — even
+        when the tiny sort buffer forces spills mid-batch."""
+        scalar = self._run_collect(records, False, sort_buffer_bytes)
+        batched = self._run_collect(records, True, sort_buffer_bytes)
+        assert scalar == batched
