@@ -122,6 +122,40 @@ def results_to_json(
     return doc
 
 
+def ledger_entries(results: list[BenchResult]) -> list[dict]:
+    """Flight-recorder ledger rows for one bench sweep.
+
+    Counter names are namespaced per suite (``bench.<name>.*``) so a
+    whole sweep folds into one run-level ``counters.json`` without
+    collisions and ``repro runs diff`` can compare two bench runs
+    counter by counter, exactly like job runs.
+    """
+    entries: list[dict] = []
+    for r in results:
+        counters = {
+            f"bench.{r.name}.baseline.seconds": r.baseline_s,
+            f"bench.{r.name}.current.seconds": r.current_s,
+            f"bench.{r.name}.speedup": r.speedup,
+        }
+        if r.records is not None:
+            counters[f"bench.{r.name}.records"] = float(r.records)
+            throughput = r.records_per_s
+            if throughput is not None:
+                counters[f"bench.{r.name}.records.per.second"] = (
+                    throughput
+                )
+        entries.append(
+            {
+                "kind": "bench",
+                "name": r.name,
+                "counters": counters,
+                "derived": {},
+                "repeats": r.repeats,
+            }
+        )
+    return entries
+
+
 def load_committed(path: str | Path = BENCH_FILE) -> dict | None:
     """Load the committed baseline document, or ``None`` if absent."""
     path = Path(path)

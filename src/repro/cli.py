@@ -17,8 +17,17 @@ Commands:
   and per-attempt events for every job the experiment runs and writes
   a Chrome-trace JSON (loadable in ``chrome://tracing`` / Perfetto)
   plus a flat ``.jsonl`` sibling.
+* ``--record`` / ``--runs-dir DIR`` (anywhere on the ``run`` line)
+  writes the run into the flight-recorder ledger (``.repro/runs`` by
+  default): manifest, counters receipt, Prometheus dump, events and
+  spans — with ``status=failed`` bundles kept on crashes.
 * ``python -m repro trace <events.jsonl>`` — render the per-phase
   profiling breakdown of a recorded ``.jsonl`` trace.
+* ``python -m repro runs ls|show|diff`` — inspect the ledger; ``diff``
+  compares two runs' counters, derived gauges and phase breakdowns.
+* ``python -m repro serve`` — HTTP service over the ledger with a live
+  Prometheus ``/metrics`` scrape plus ``/runs``, ``/runs/<id>`` and
+  ``/healthz`` (see ``docs/observability.md``).
 * ``python -m repro summary`` — aggregate the benchmark reports under
   ``benchmarks/results/`` into one document.
 * ``python -m repro bench [--quick] [--check]`` — run the hot-path
@@ -38,6 +47,7 @@ import argparse
 import inspect
 import pathlib
 import sys
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.analysis.report import ExperimentResult
@@ -134,24 +144,36 @@ def _convert(raw: str, default: Any) -> Any:
     return raw
 
 
+@dataclass
+class RunnerFlags:
+    """Engine-level flags split out of an experiment's overrides."""
+
+    jobs: int | None = None
+    trace: str | None = None
+    record: bool = False
+    runs_dir: str | None = None
+
+
 def _extract_runner_flags(
     pairs: list[str],
-) -> tuple[int | None, str | None, list[str]]:
-    """Split ``--jobs/-j N`` and ``--trace PATH`` out of the overrides.
+) -> tuple[RunnerFlags, list[str]]:
+    """Split the runner flags (``--jobs/-j N``, ``--trace PATH``,
+    ``--record``, ``--runs-dir DIR``) out of the overrides.
 
     The ``run`` sub-parser collects everything after the experiment
     name into ``overrides`` (argparse.REMAINDER), so runner flags given
     *after* the experiment land there instead of on the parser.  Both
     ``--flag value`` and ``--flag=value`` spellings are accepted.
     """
-    jobs: int | None = None
-    trace: str | None = None
+    flags = RunnerFlags()
     rest: list[str] = []
     index = 0
     while index < len(pairs):
         flag = pairs[index]
         name, eq, inline = flag.partition("=")
-        if name in ("-j", "--jobs", "--trace"):
+        if name == "--record":
+            flags.record = True
+        elif name in ("-j", "--jobs", "--trace", "--runs-dir"):
             if eq:
                 value = inline
             else:
@@ -160,13 +182,15 @@ def _extract_runner_flags(
                 value = pairs[index + 1]
                 index += 1
             if name == "--trace":
-                trace = value
+                flags.trace = value
+            elif name == "--runs-dir":
+                flags.runs_dir = value
             else:
-                jobs = int(value)
+                flags.jobs = int(value)
         else:
             rest.append(flag)
         index += 1
-    return jobs, trace, rest
+    return flags, rest
 
 
 def _parse_overrides(
@@ -236,16 +260,23 @@ def _write_traces(trace_path: str, collector: Any) -> None:
 
 
 def _cmd_run(
-    name: str, overrides: list[str], trace_path: str | None = None
+    name: str,
+    overrides: list[str],
+    trace_path: str | None = None,
+    record: bool = False,
+    runs_dir: str | None = None,
 ) -> int:
     try:
-        jobs, flag_trace, overrides = _extract_runner_flags(overrides)
-        if jobs is not None:
+        flags, overrides = _extract_runner_flags(overrides)
+        if flags.jobs is not None:
             from repro.mr.executor import set_default_jobs
 
-            set_default_jobs(jobs)
-        if flag_trace is not None:
-            trace_path = flag_trace
+            set_default_jobs(flags.jobs)
+        if flags.trace is not None:
+            trace_path = flags.trace
+        record = record or flags.record
+        if flags.runs_dir is not None:
+            runs_dir = flags.runs_dir
         if name == "all":
             if overrides:
                 raise ValueError(
@@ -272,12 +303,29 @@ def _cmd_run(
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    recorder = None
+    if record or runs_dir is not None:
+        from repro.obs.flightrecorder import (
+            FlightRecorder,
+            set_flight_recorder,
+        )
+        from repro.obs.run_store import RunStore
+
+        recorder = FlightRecorder(
+            RunStore(runs_dir),
+            kind="experiment",
+            name=name,
+            params={exp: kwargs_by_name[exp] for exp in names},
+            argv=["run", name, *overrides],
+        )
+        set_flight_recorder(recorder)
     collector = None
     if trace_path is not None:
         from repro.obs.trace import TraceCollector, set_trace_collector
 
         collector = TraceCollector()
         set_trace_collector(collector)
+    status = "failed"
     try:
         for index, exp_name in enumerate(names):
             if index:
@@ -285,9 +333,26 @@ def _cmd_run(
             fn, _ = EXPERIMENTS[exp_name]
             result = fn(**kwargs_by_name[exp_name])
             print(result.report())
+        status = "completed"
+    except BaseException as exc:
+        if recorder is not None:
+            recorder.record_error(exc)
+        raise
     finally:
-        # Flush whatever was traced even when an experiment raises:
-        # a post-mortem is exactly when the partial trace matters.
+        # Flush whatever was traced/recorded even when an experiment
+        # raises: a post-mortem is exactly when the bundle matters.
+        # The failed run keeps its partial artifacts and is finalised
+        # with status=failed.
+        if recorder is not None:
+            from repro.obs.flightrecorder import clear_flight_recorder
+
+            clear_flight_recorder()
+            recorder.finalize(status)
+            print(
+                f"run ledger: {recorder.path} (status={status}; "
+                "inspect with 'python -m repro runs ls/show/diff')",
+                file=sys.stderr,
+            )
         if collector is not None:
             from repro.obs.trace import clear_trace_collector
 
@@ -314,6 +379,8 @@ def _cmd_bench(
     check: bool,
     suites: list[str] | None,
     json_out: str | None,
+    record: bool = False,
+    runs_dir: str | None = None,
 ) -> int:
     from repro.bench import (
         compare_to_committed,
@@ -336,6 +403,21 @@ def _cmd_bench(
         return 2
     committed = load_committed()
     print(format_table(results, committed))
+    if record or runs_dir is not None:
+        # Per-suite timings land in the run ledger as bench.<suite>.*
+        # counters, so `repro runs diff` compares bench runs too.
+        from repro.obs.flightrecorder import FlightRecorder
+        from repro.obs.run_store import RunStore
+
+        recorder = FlightRecorder(
+            RunStore(runs_dir),
+            kind="bench",
+            name="bench-quick" if quick else "bench",
+            params={"quick": quick, "suites": suites or []},
+        )
+        recorder.record_bench(results)
+        recorder.finalize("completed")
+        print(f"run ledger: {recorder.path}", file=sys.stderr)
     if json_out is not None:
         import json
 
@@ -366,6 +448,53 @@ def _cmd_bench(
         )
         return 1
     print("no perf regressions vs committed baseline", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(host: str, port: int, runs_dir: str | None) -> int:
+    from repro.obs.run_store import RunStore
+    from repro.obs.server import ObservabilityServer
+
+    store = RunStore(runs_dir)
+    server = ObservabilityServer(store, host=host, port=port)
+    print(
+        f"serving run ledger {store.root} on {server.url} "
+        "(endpoints: /metrics /runs /runs/<id> /healthz; Ctrl-C stops)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.analysis.rundiff import (
+        render_diff,
+        render_run,
+        runs_table,
+    )
+    from repro.obs.run_store import RunStore, RunStoreError
+
+    store = RunStore(args.runs_dir)
+    try:
+        if args.runs_command == "ls":
+            print(runs_table(store.load_all()))
+        elif args.runs_command == "show":
+            print(render_run(store.load(store.resolve(args.run_id))))
+        else:
+            print(
+                render_diff(
+                    store.load(store.resolve(args.run_a)),
+                    store.load(store.resolve(args.run_b)),
+                )
+            )
+    except RunStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -402,6 +531,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="record phase spans + scheduling events; writes "
         "Chrome-trace JSON to PATH and a .jsonl sibling",
+    )
+    run_parser.add_argument(
+        "--record",
+        action="store_true",
+        help="record the run into the flight-recorder ledger "
+        "(.repro/runs by default)",
+    )
+    run_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger root for --record (implies --record; "
+        "REPRO_RUNS_DIR env is the fallback root)",
     )
     run_parser.add_argument(
         "overrides",
@@ -442,6 +584,64 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write the result document as JSON to PATH",
     )
+    bench_parser.add_argument(
+        "--record",
+        action="store_true",
+        help="record per-suite results into the flight-recorder "
+        "ledger (comparable with 'repro runs diff')",
+    )
+    bench_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger root for --record (implies --record)",
+    )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the run ledger over HTTP "
+        "(/metrics /runs /runs/<id> /healthz)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=9464,
+        help="listen port (0 picks a free one)",
+    )
+    serve_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger root (default: .repro/runs or REPRO_RUNS_DIR)",
+    )
+    runs_parser = subparsers.add_parser(
+        "runs", help="inspect the recorded run ledger"
+    )
+    runs_sub = runs_parser.add_subparsers(
+        dest="runs_command", required=True
+    )
+    runs_ls = runs_sub.add_parser("ls", help="list recorded runs")
+    runs_show = runs_sub.add_parser(
+        "show", help="one run's manifest, entries and counters"
+    )
+    runs_show.add_argument(
+        "run_id", help="run id (unique prefixes resolve)"
+    )
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="diff two runs' counters, derived gauges and phases",
+    )
+    runs_diff.add_argument("run_a", help="baseline run id (or prefix)")
+    runs_diff.add_argument("run_b", help="candidate run id (or prefix)")
+    for sub in (runs_ls, runs_show, runs_diff):
+        sub.add_argument(
+            "--runs-dir",
+            default=None,
+            metavar="DIR",
+            help="ledger root (default: .repro/runs or REPRO_RUNS_DIR)",
+        )
     summary_parser = subparsers.add_parser(
         "summary", help="aggregate persisted benchmark reports"
     )
@@ -460,13 +660,28 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args.events)
         if args.command == "bench":
             return _cmd_bench(
-                args.quick, args.check, args.suites, args.json
+                args.quick,
+                args.check,
+                args.suites,
+                args.json,
+                args.record,
+                args.runs_dir,
             )
+        if args.command == "serve":
+            return _cmd_serve(args.host, args.port, args.runs_dir)
+        if args.command == "runs":
+            return _cmd_runs(args)
         if args.jobs is not None:
             from repro.mr.executor import set_default_jobs
 
             set_default_jobs(args.jobs)
-        return _cmd_run(args.experiment, args.overrides, args.trace)
+        return _cmd_run(
+            args.experiment,
+            args.overrides,
+            args.trace,
+            args.record,
+            args.runs_dir,
+        )
     except BrokenPipeError:
         # stdout went away (e.g. piped into `head`); exit quietly
         import os

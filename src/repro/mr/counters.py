@@ -64,6 +64,22 @@ ANTI_SHARED_SPILLED_BYTES = "anti.shared.spilled.bytes"
 ANTI_SHARED_SPILLED_RECORDS = "anti.shared.spilled.records"
 ANTI_REDUCE_MAP_REEXECUTIONS = "anti.reduce.map.reexecutions"
 
+#: Wall-clock CPU *measurements* of user/codec code (PerfCounterMeter):
+#: nondeterministic run to run, so excluded from deterministic receipts
+#: like the flight recorder's ``counters.json`` and from the
+#: counter-invariance diffs.  ``cpu.framework.seconds`` is analytic
+#: (derived from counts and byte sizes) and deliberately NOT here.
+MEASURED_CPU_COUNTERS = frozenset(
+    {
+        CPU_SECONDS,
+        CPU_MAP_SECONDS,
+        CPU_REDUCE_SECONDS,
+        CPU_COMBINE_SECONDS,
+        CPU_PARTITION_SECONDS,
+        CPU_CODEC_SECONDS,
+    }
+)
+
 
 class Counters:
     """A hierarchical-free bag of named numeric counters."""

@@ -30,6 +30,7 @@ from repro.mr.scheduler import (
     JobScheduler,
     require_monoidal_combiner,
 )
+from repro.obs.flightrecorder import current_flight_recorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import (
     NullTracer,
@@ -210,13 +211,17 @@ class LocalJobRunner:
             require_monoidal_combiner(job)
         executor, owned = self._resolve_executor(job)
         # Tracer resolution: an explicit tracer wins; otherwise a
-        # process-wide trace collector (the CLI's ``--trace``) turns
-        # tracing on for every job run while installed; otherwise the
-        # no-op tracer keeps the run zero-overhead.
+        # process-wide trace collector (the CLI's ``--trace``) or an
+        # installed flight recorder turns tracing on for every job run
+        # while installed (a recorded run's spans.jsonl feeds the
+        # `repro runs diff` per-phase breakdown); otherwise the no-op
+        # tracer keeps the run zero-overhead.
         collector = current_trace_collector()
+        recorder = current_flight_recorder()
         tracer = self._tracer
         if tracer is None:
-            tracer = Tracer() if collector is not None else None
+            active = collector is not None or recorder is not None
+            tracer = Tracer() if active else None
         scheduler = JobScheduler(
             executor,
             fault_policy=self._fault_policy,
@@ -234,4 +239,9 @@ class LocalJobRunner:
             collector.add_job(
                 job.name, result.spans, result.events.as_dicts()
             )
+        # The flight recorder mirrors the collector hook: zero-cost
+        # when disabled, and observation-only when on — it reads the
+        # finished result, so counters are identical either way.
+        if recorder is not None:
+            recorder.record_job(job, result)
         return result

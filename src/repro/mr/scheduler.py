@@ -18,6 +18,7 @@ shuffle plan is a pure function of the map results.
 
 from __future__ import annotations
 
+import math
 import os
 import statistics
 import time
@@ -77,6 +78,14 @@ def require_monoidal_combiner(job: JobConf) -> None:
             "innode_combining requires a combiner whose class declares "
             f"monoidal = True; {name} does not"
         )
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted sequence."""
+    if not ordered:
+        return 0.0
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(len(ordered) - 1, max(rank - 1, 0))]
 
 
 def _innode_combine(
@@ -1100,6 +1109,10 @@ class JobScheduler:
             metrics.merge_counters(result.serve_counters)
         totals = metrics.job_counters()
         self._record_wave_metrics(metrics, events, job)
+        shuffle_bytes = [r.shuffle_bytes for r in reduce_results]
+        self._record_derived_metrics(
+            metrics, events, job, totals, shuffle_bytes
+        )
 
         return JobResult(
             job_name=job.name,
@@ -1109,9 +1122,7 @@ class JobScheduler:
             counters=totals,
             map_task_costs=map_costs,
             reduce_task_costs=reduce_costs,
-            shuffle_bytes_per_reducer=[
-                r.shuffle_bytes for r in reduce_results
-            ],
+            shuffle_bytes_per_reducer=shuffle_bytes,
             events=events,
             spans=tracer.records(),
             metrics=metrics,
@@ -1177,3 +1188,93 @@ class JobScheduler:
                 elif event.event == E.FINISH:
                     cpu.observe(event.cpu_seconds)
                     output_bytes.observe(event.output_bytes)
+
+    @staticmethod
+    def _record_derived_metrics(
+        metrics: MetricsRegistry,
+        events: EventLog,
+        job: JobConf,
+        totals: Counters,
+        shuffle_bytes: Sequence[int],
+    ) -> None:
+        """Per-run derived analytics: the ``mr.derived.*`` gauges.
+
+        Replication rate is the communication-cost metric of the
+        MapReduce-algorithms literature (arXiv 1204.1754): map output
+        records per input record — exactly what anti-combining trades
+        against shuffle size.  The rest condenses the shuffle and the
+        task waves into scrape-friendly scalars.  Every gauge is
+        observational (never enters the job-counter ledger), so this
+        pass cannot perturb the counter-determinism contract.
+        """
+        map_in = totals.get(C.MAP_INPUT_RECORDS)
+        map_out = totals.get(C.MAP_OUTPUT_RECORDS)
+        metrics.gauge(
+            "mr.derived.replication.rate",
+            "Map output records per map input record (arXiv 1204.1754)",
+        ).set(map_out / map_in if map_in else 0.0)
+
+        if shuffle_bytes:
+            mean = sum(shuffle_bytes) / len(shuffle_bytes)
+            peak = float(max(shuffle_bytes))
+            metrics.gauge(
+                "mr.derived.shuffle.partition.mean.bytes",
+                "Mean shuffle bytes per reduce partition",
+            ).set(mean)
+            metrics.gauge(
+                "mr.derived.shuffle.partition.max.bytes",
+                "Largest reduce partition's shuffle bytes",
+            ).set(peak)
+            metrics.gauge(
+                "mr.derived.shuffle.skew",
+                "Shuffle-byte partition skew: max over mean bytes "
+                "per reduce partition",
+            ).set(peak / mean if mean else 0.0)
+
+        for kind in (E.MAP, E.REDUCE):
+            durations = sorted(events.wall_durations(kind).values())
+            if not durations:
+                continue
+            median = _quantile(durations, 0.5)
+            metrics.gauge(
+                f"mr.derived.{kind}.wall.p50.seconds",
+                f"Median successful {kind} attempt wall seconds",
+            ).set(median)
+            metrics.gauge(
+                f"mr.derived.{kind}.wall.p95.seconds",
+                f"95th-percentile successful {kind} attempt "
+                "wall seconds",
+            ).set(_quantile(durations, 0.95))
+            metrics.gauge(
+                f"mr.derived.{kind}.wall.max.seconds",
+                f"Slowest successful {kind} attempt wall seconds",
+            ).set(durations[-1])
+            metrics.gauge(
+                f"mr.derived.{kind}.straggler.ratio",
+                f"Slowest {kind} attempt over the wave median",
+            ).set(durations[-1] / median if median else 0.0)
+
+        for counter_name, decision in (
+            (C.ANTI_EAGER_RECORDS, "eager"),
+            (C.ANTI_LAZY_RECORDS, "lazy"),
+            (C.ANTI_PLAIN_RECORDS, "plain"),
+        ):
+            metrics.gauge(
+                f"mr.derived.anti.{decision}.records",
+                "Records the anti-combining "
+                f"{decision} decision fired for",
+            ).set(totals.get(counter_name))
+
+        metrics.gauge(
+            "mr.derived.innode.enabled",
+            "Whether node-level in-node combining was configured",
+        ).set(1.0 if job.innode_combining else 0.0)
+        combiner = job.make_combiner()
+        legal = combiner is not None and getattr(
+            type(combiner), "monoidal", False
+        )
+        metrics.gauge(
+            "mr.derived.innode.combine.legal",
+            "Whether the job's combiner may legally run in the "
+            "in-node stage (declares monoidal = True)",
+        ).set(1.0 if legal else 0.0)

@@ -15,6 +15,12 @@ those bytes and CPU seconds happened.
 * :mod:`repro.obs.export` — Chrome-trace-format JSON (loadable in
   Perfetto / ``chrome://tracing``) and a flat JSONL consumed by the
   ``repro trace`` CLI subcommand.
+* :mod:`repro.obs.run_store` / :mod:`repro.obs.flightrecorder` — the
+  persistent run ledger: every recorded run leaves a content-addressed
+  directory under ``.repro/runs`` with its manifest, deterministic
+  counter receipt, Prometheus dump, events and spans.
+* :mod:`repro.obs.server` — the ``repro serve`` HTTP service exposing
+  the ledger (``/metrics`` Prometheus scrape, ``/runs``, ``/healthz``).
 """
 
 from repro.obs.trace import (
@@ -37,11 +43,22 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.flightrecorder import (
+    FlightRecorder,
+    clear_flight_recorder,
+    current_flight_recorder,
+    set_flight_recorder,
+)
+from repro.obs.run_store import RunRecord, RunStore, RunStoreError
 
 __all__ = [
     "NULL_TRACER",
+    "FlightRecorder",
     "JobTrace",
     "MetricsRegistry",
+    "RunRecord",
+    "RunStore",
+    "RunStoreError",
     "NullTracer",
     "SpanRecord",
     "TraceCollector",

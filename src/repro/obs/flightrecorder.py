@@ -1,0 +1,326 @@
+"""The flight recorder: writes every run into the persistent ledger.
+
+Follows the same zero-cost-when-disabled pattern as the tracer's
+process-wide collector: the engine asks :func:`current_flight_recorder`
+after each job and gets ``None`` unless one was installed, so recording
+costs nothing when off — and when on, it only *reads* the finished
+:class:`~repro.mr.engine.JobResult`, never reaches into the run, so the
+counter-determinism contract holds with the recorder on or off.
+
+One :class:`FlightRecorder` owns one run directory (see
+:mod:`repro.obs.run_store` for the layout).  Entries, events and spans
+are appended incrementally as each job finishes, so a run that crashes
+mid-way still leaves its post-mortem bundle on disk; the deterministic
+``counters.json`` receipt and the ``metrics.prom`` dump land at
+:meth:`FlightRecorder.finalize` — which the CLI drives from its
+``finally`` path with ``status="failed"`` when the experiment raised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.mr.counters import MEASURED_CPU_COUNTERS, Counters
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.run_store import (
+    COMPLETED,
+    COUNTERS_FILE,
+    ENTRIES_FILE,
+    EVENTS_FILE,
+    METRICS_FILE,
+    SPANS_FILE,
+    RunStore,
+)
+
+#: Version of the manifest/entry document shapes.
+SCHEMA_VERSION = 1
+
+#: Gauge-name prefix of the scheduler's derived-analytics pass.
+DERIVED_PREFIX = "mr.derived."
+
+
+def run_environment() -> dict:
+    """Interpreter/machine provenance recorded into every manifest."""
+    from repro.bench.harness import provenance
+
+    return provenance()
+
+
+def describe_job_conf(job: Any) -> dict:
+    """The manifest-able knobs of a :class:`~repro.mr.config.JobConf`.
+
+    Only primitives: mapper/reducer are factories and stay out; the
+    anti-combining config collapses to its strategy + threshold.
+    """
+    anti = getattr(job, "anti", None)
+    strategy = "original"
+    threshold_t = None
+    if anti is not None:
+        strategy = getattr(
+            getattr(anti, "strategy", None), "value", "anti"
+        )
+        threshold_t = getattr(anti, "threshold_t", None)
+        if threshold_t is not None and threshold_t == float("inf"):
+            threshold_t = "inf"
+    return {
+        "name": getattr(job, "name", "job"),
+        "num_reducers": getattr(job, "num_reducers", None),
+        "executor": getattr(job, "executor", None),
+        "codec": getattr(job, "map_output_codec", None),
+        "sort_buffer_bytes": getattr(job, "sort_buffer_bytes", None),
+        "merge_factor": getattr(job, "merge_factor", None),
+        "combiner": getattr(job, "combiner", None) is not None,
+        "strategy": strategy,
+        "threshold_t": threshold_t,
+        "innode_combining": getattr(job, "innode_combining", False),
+        "innode_fanin": getattr(job, "innode_fanin", None),
+        "max_task_attempts": getattr(job, "max_task_attempts", None),
+        "speculative_execution": getattr(
+            job, "speculative_execution", False
+        ),
+    }
+
+
+def deterministic_counters(counters: dict[str, float]) -> dict[str, float]:
+    """The receipt-able subset of a counter fold.
+
+    Drops the measured-CPU families (wall-clock measurements of user /
+    codec code, nondeterministic run to run); everything left is
+    analytic, so two identical runs produce bit-identical receipts.
+    """
+    return {
+        name: value
+        for name, value in counters.items()
+        if name not in MEASURED_CPU_COUNTERS
+    }
+
+
+class FlightRecorder:
+    """Records one run (experiment / pipeline / bench) into the ledger."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        kind: str,
+        name: str,
+        params: dict | None = None,
+        argv: Sequence[str] | None = None,
+    ) -> None:
+        self._store = store
+        #: The run-level registry: the aggregate of every recorded
+        #: entry's metrics.  Its job-counter subset is the same fold as
+        #: merging each job's counter bag in arrival order, so the
+        #: finalised receipt is bit-identical to the engine's totals.
+        self._metrics = MetricsRegistry()
+        self._entry_index = 0
+        self._error: str | None = None
+        self._finalized = False
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "name": name,
+            "params": params or {},
+            "argv": list(argv) if argv is not None else None,
+            "env": run_environment(),
+            "pid": os.getpid(),
+        }
+        run = store.create(manifest)
+        self._run_id = run.run_id
+        self._path = run.path
+
+    @property
+    def run_id(self) -> str:
+        return self._run_id
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # -- recording -------------------------------------------------------
+    def record_job(self, job: Any, result: Any) -> None:
+        """Record one finished job (called by the engine after a run)."""
+        index = self._entry_index
+        self._entry_index += 1
+        name = getattr(result, "job_name", None) or getattr(
+            job, "name", "job"
+        )
+        self._metrics.merge_registry(result.metrics)
+        derived = {
+            gauge: value
+            for gauge, value in result.metrics.gauge_values().items()
+            if gauge.startswith(DERIVED_PREFIX)
+        }
+        self._store.append_row(
+            self._run_id,
+            ENTRIES_FILE,
+            {
+                "index": index,
+                "kind": "job",
+                "name": name,
+                "conf": describe_job_conf(job),
+                "counters": result.counters.as_dict(),
+                "derived": derived,
+                "shuffle_bytes_per_reducer": list(
+                    result.shuffle_bytes_per_reducer
+                ),
+            },
+        )
+        self._append_spans(index, name, result.spans)
+        self._append_events(index, name, result.events.as_dicts())
+
+    def record_pipeline(self, name: str, result: Any) -> None:
+        """Record one pipeline run as a ``pipeline:<name>`` entry.
+
+        The pipeline's MapReduce stages were already recorded one by
+        one through the engine hook, so only the pipeline-level ledger
+        (``pipeline.*`` cache/stage counters) folds in here — job
+        counters are never double-counted.
+        """
+        index = self._entry_index
+        self._entry_index += 1
+        entry_name = f"pipeline:{name}"
+        pipeline_counters = {
+            cname: value
+            for cname, value in result.metrics.counter_values().items()
+            if cname.startswith("pipeline.")
+        }
+        bag = Counters()
+        for cname in sorted(pipeline_counters):
+            bag.add(cname, pipeline_counters[cname])
+        self._metrics.merge_counters(bag)
+        self._store.append_row(
+            self._run_id,
+            ENTRIES_FILE,
+            {
+                "index": index,
+                "kind": "pipeline",
+                "name": entry_name,
+                "counters": pipeline_counters,
+                "derived": {},
+                "stages": [
+                    getattr(stage, "name", "") for stage in result.stages
+                ],
+                "loop_iterations": dict(result.loop_iterations),
+            },
+        )
+        self._append_spans(index, entry_name, result.spans)
+
+    def record_bench(self, results: Sequence[Any]) -> None:
+        """Record a bench sweep: one ``bench`` entry per suite result."""
+        from repro.bench.harness import ledger_entries
+
+        for entry in ledger_entries(results):
+            index = self._entry_index
+            self._entry_index += 1
+            bag = Counters()
+            for cname in sorted(entry["counters"]):
+                bag.add(cname, entry["counters"][cname])
+            self._metrics.merge_counters(bag)
+            self._store.append_row(
+                self._run_id, ENTRIES_FILE, {"index": index, **entry}
+            )
+
+    def record_error(self, exc: BaseException) -> None:
+        """Attach a terminal failure to the run's final status.
+
+        If the exception carries the scheduler's completed event log
+        (terminal task failures do), its events join the post-mortem
+        bundle under a ``terminal-failure`` pseudo-job.
+        """
+        self._error = f"{type(exc).__name__}: {exc}"
+        events = getattr(exc, "events", None)
+        if events is not None:
+            rows = (
+                events.as_dicts()
+                if hasattr(events, "as_dicts")
+                else list(events)
+            )
+            self._append_events(
+                self._entry_index, "terminal-failure", rows
+            )
+
+    # -- finalisation ----------------------------------------------------
+    def finalize(self, status: str = COMPLETED) -> str:
+        """Write the receipt artifacts and the final status; idempotent.
+
+        ``counters.json`` holds only the deterministic (analytic)
+        counter fold — the receipt two identical runs reproduce bit for
+        bit; the full fold including measured CPU lives in
+        ``metrics.prom`` and the per-entry rows.
+        """
+        if self._finalized:
+            return self._run_id
+        self._finalized = True
+        analytic = deterministic_counters(
+            self._metrics.job_counters().as_dict()
+        )
+        (self._path / COUNTERS_FILE).write_text(
+            json.dumps(
+                {"schema": SCHEMA_VERSION, "counters": analytic},
+                indent=1,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        (self._path / METRICS_FILE).write_text(
+            self._metrics.prometheus_text()
+        )
+        status_doc: dict[str, Any] = {
+            "status": status,
+            "finished_unix": time.time(),
+            "entries": self._entry_index,
+        }
+        if self._error is not None:
+            status_doc["error"] = self._error
+        self._store.write_status(self._run_id, status_doc)
+        self._store.prune()
+        return self._run_id
+
+    # -- internals -------------------------------------------------------
+    def _append_spans(
+        self, index: int, name: str, spans: Sequence[Any]
+    ) -> None:
+        # The same row shape `repro trace` consumes (obs.export
+        # write_jsonl/load_jsonl), so a recorded run's spans.jsonl
+        # renders directly with the existing per-phase report.
+        self._store.append_row(
+            self._run_id,
+            SPANS_FILE,
+            {"type": "job", "job": name, "run": index},
+        )
+        for span in spans:
+            row = {"type": "span", "job": name, "run": index}
+            row.update(span.as_dict())
+            self._store.append_row(self._run_id, SPANS_FILE, row)
+
+    def _append_events(
+        self, index: int, name: str, events: Sequence[dict]
+    ) -> None:
+        for event in events:
+            row = {"type": "event", "job": name, "run": index}
+            row.update(event)
+            self._store.append_row(self._run_id, EVENTS_FILE, row)
+
+
+# -- the process-wide hook -------------------------------------------------
+
+_recorder: FlightRecorder | None = None
+
+
+def set_flight_recorder(recorder: FlightRecorder) -> None:
+    """Install a process-wide recorder; jobs run after this are recorded."""
+    global _recorder
+    _recorder = recorder
+
+
+def clear_flight_recorder() -> None:
+    global _recorder
+    _recorder = None
+
+
+def current_flight_recorder() -> FlightRecorder | None:
+    return _recorder

@@ -190,6 +190,33 @@ class MetricsRegistry:
                 totals.add(name, metric.value)
         return totals
 
+    # -- registry aggregation --------------------------------------------
+    def merge_registry(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (run-level aggregation).
+
+        Counters add, gauges last-write-wins, histograms add bucket by
+        bucket (layouts must match).  Job-counter provenance carries
+        over: names folded via :meth:`merge_counters` in ``other`` stay
+        job counters here, so the aggregate's :meth:`job_counters` is
+        the same per-name float fold as merging every job's counter bag
+        in arrival order — bit-identical totals.
+        """
+        for name, metric in other._counters.items():
+            self.counter(name, metric.help).add(metric.value)
+        self._job_counter_names |= other._job_counter_names
+        for name, metric in other._gauges.items():
+            self.gauge(name, metric.help).set(metric.value)
+        for name, metric in other._histograms.items():
+            mine = self.histogram(name, metric.help, metric.buckets)
+            if mine.buckets != metric.buckets:
+                raise ValueError(
+                    f"histogram {name!r} bucket layouts differ"
+                )
+            for index, count in enumerate(metric.bucket_counts):
+                mine.bucket_counts[index] += count
+            mine.sum += metric.sum
+            mine.count += metric.count
+
     # -- snapshots -------------------------------------------------------
     def counter_values(self) -> dict[str, float]:
         return {name: m.value for name, m in self._counters.items()}
@@ -223,7 +250,9 @@ class MetricsRegistry:
 
         def emit_header(name: str, help_text: str, kind: str) -> None:
             if help_text:
-                lines.append(f"# HELP {name} {help_text}")
+                lines.append(
+                    f"# HELP {name} {escape_help_text(help_text)}"
+                )
             lines.append(f"# TYPE {name} {kind}")
 
         for raw_name in sorted(self._counters):
@@ -281,6 +310,41 @@ def _fmt(value: float) -> str:
     return repr(value)
 
 
+def escape_help_text(text: str) -> str:
+    """HELP-line escaping per the text format 0.0.4: ``\\`` and LF."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Label-value escaping: backslash, double-quote, and LF."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:
+                out.append(char)
+                out.append(nxt)
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
 def parse_prometheus_counters(text: str) -> dict[str, float]:
     """Parse plain counter/gauge samples back out of a text dump.
 
@@ -296,3 +360,171 @@ def parse_prometheus_counters(text: str) -> dict[str, float]:
             continue
         values[name] = float(raw)
     return values
+
+
+# -- full text-format parser (exposition format 0.0.4) ---------------------
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(?:\{(.*)\})?"  # optional label block
+    r"\s+(\S+)"  # value
+    r"(?:\s+(-?\d+))?$"  # optional timestamp
+)
+_LABEL_RE = re.compile(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)="')
+
+#: Suffixes a histogram family's samples may carry.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_label_block(raw: str, line: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(raw):
+        match = _LABEL_RE.match(raw, index)
+        if match is None:
+            raise ValueError(f"malformed label block in line: {line!r}")
+        name = match.group(1)
+        index = match.end()
+        chars: list[str] = []
+        while index < len(raw):
+            char = raw[index]
+            if char == "\\" and index + 1 < len(raw):
+                chars.append(raw[index : index + 2])
+                index += 2
+                continue
+            if char == '"':
+                break
+            chars.append(char)
+            index += 1
+        else:
+            raise ValueError(f"unterminated label value: {line!r}")
+        labels[name] = _unescape("".join(chars))
+        index += 1  # closing quote
+        if index < len(raw) and raw[index] == ",":
+            index += 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
+    """Parse a full text-format (0.0.4) exposition into families.
+
+    Returns ``{family: {"type", "help", "samples"}}`` where each sample
+    is ``(name, labels, value)``.  Histogram families claim their
+    ``_bucket``/``_sum``/``_count`` series.  Raises ``ValueError`` on
+    malformed lines, duplicate ``TYPE``/``HELP`` declarations, or a
+    ``TYPE`` that arrives after the family already has samples.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family_for(sample_name: str) -> dict[str, Any]:
+        # A histogram's series attach to the declared base family.
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                family = families.get(base)
+                if family is not None and family["type"] in (
+                    "histogram",
+                    "summary",
+                ):
+                    return family
+        return families.setdefault(
+            sample_name,
+            {"type": "untyped", "help": "", "samples": []},
+        )
+
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # plain comment
+            if len(parts) < 3 or not _METRIC_NAME_RE.match(parts[2]):
+                raise ValueError(f"malformed {parts[1]} line: {line!r}")
+            name = parts[2]
+            payload = parts[3] if len(parts) > 3 else ""
+            family = families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )
+            if parts[1] == "TYPE":
+                if payload not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                    "summary",
+                    "untyped",
+                ):
+                    raise ValueError(f"unknown TYPE in line: {line!r}")
+                if family["type"] != "untyped":
+                    raise ValueError(f"duplicate TYPE for {name!r}")
+                if family["samples"]:
+                    raise ValueError(
+                        f"TYPE for {name!r} after its samples"
+                    )
+                family["type"] = payload
+            else:
+                if family["help"]:
+                    raise ValueError(f"duplicate HELP for {name!r}")
+                family["help"] = _unescape(payload)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        name, label_block, raw_value = match.group(1, 2, 3)
+        labels = (
+            _parse_label_block(label_block, line) if label_block else {}
+        )
+        try:
+            value = float(raw_value)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad sample value in line: {line!r}"
+            ) from exc
+        family_for(name)["samples"].append((name, labels, value))
+    return families
+
+
+def validate_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
+    """Parse and structurally validate an exposition; returns families.
+
+    On top of :func:`parse_prometheus_text`'s line-level checks, every
+    histogram family must have cumulative non-decreasing ``_bucket``
+    series ending in an explicit ``+Inf`` bucket whose count equals the
+    ``_count`` sample, plus a ``_sum`` sample.  Raises ``ValueError``.
+    """
+    families = parse_prometheus_text(text)
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets: list[tuple[float, float]] = []
+        total = sum_value = None
+        for sample_name, labels, value in family["samples"]:
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise ValueError(
+                        f"histogram {name!r} bucket without le label"
+                    )
+                buckets.append((float(labels["le"]), value))
+            elif sample_name == f"{name}_count":
+                total = value
+            elif sample_name == f"{name}_sum":
+                sum_value = value
+        if total is None or sum_value is None:
+            raise ValueError(
+                f"histogram {name!r} missing _sum/_count series"
+            )
+        if not buckets or buckets[-1][0] != float("inf"):
+            raise ValueError(
+                f"histogram {name!r} missing explicit +Inf bucket"
+            )
+        counts = [count for _, count in buckets]
+        if counts != sorted(counts):
+            raise ValueError(
+                f"histogram {name!r} buckets are not cumulative"
+            )
+        if buckets[-1][1] != total:
+            raise ValueError(
+                f"histogram {name!r} +Inf bucket != _count"
+            )
+    return families

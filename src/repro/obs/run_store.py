@@ -1,0 +1,287 @@
+"""The persistent run ledger: content-addressed run directories.
+
+Every recorded run (an experiment, a pipeline, a bench sweep) lives in
+its own directory under the store root (``.repro/runs`` by default,
+``REPRO_RUNS_DIR`` overrides)::
+
+    .repro/runs/<run_id>/
+        manifest.json   # what ran: kind, name, params, env, schema
+        status.json     # running | completed | failed (+ error)
+        entries.jsonl   # one row per recorded job / pipeline / suite
+        events.jsonl    # per-attempt scheduler events, flat
+        spans.jsonl     # phase spans in the `repro trace` JSONL shape
+        counters.json   # deterministic run-total counter fold
+        metrics.prom    # Prometheus text dump of the run registry
+
+The run id is content-addressed: a UTC timestamp prefix (so a plain
+directory sort is chronological) followed by a SHA-256 prefix of the
+canonical manifest JSON.  ``entries``/``events``/``spans`` are written
+*incrementally* by the flight recorder, so a run that dies mid-way
+still leaves a usable post-mortem bundle; ``counters.json`` and
+``metrics.prom`` land at finalisation.
+
+Retention: :meth:`RunStore.prune` keeps the newest ``keep`` finished
+runs (``REPRO_RUNS_KEEP`` overrides the default of 64) and never
+touches a run that is still ``running``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: File names inside one run directory.
+MANIFEST_FILE = "manifest.json"
+STATUS_FILE = "status.json"
+ENTRIES_FILE = "entries.jsonl"
+EVENTS_FILE = "events.jsonl"
+SPANS_FILE = "spans.jsonl"
+COUNTERS_FILE = "counters.json"
+METRICS_FILE = "metrics.prom"
+
+DEFAULT_ROOT = ".repro/runs"
+ENV_ROOT = "REPRO_RUNS_DIR"
+ENV_KEEP = "REPRO_RUNS_KEEP"
+DEFAULT_KEEP = 64
+
+#: Run statuses a ledger entry can carry.
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+
+
+class RunStoreError(Exception):
+    """A ledger lookup or write failed (unknown id, ambiguous prefix)."""
+
+
+@dataclass(frozen=True)
+class OpenRun:
+    """Handle to a freshly created (still-running) run directory."""
+
+    run_id: str
+    path: Path
+
+
+@dataclass
+class RunRecord:
+    """One recorded run, loaded back from its directory."""
+
+    run_id: str
+    path: Path
+    manifest: dict
+    status: dict
+    entries: list[dict] = field(default_factory=list)
+    #: The deterministic run-total counters, or ``None`` for a run that
+    #: never finalised (hard crash mid-run).
+    counters: dict | None = None
+
+    @property
+    def status_name(self) -> str:
+        return self.status.get("status", RUNNING)
+
+    @property
+    def kind(self) -> str:
+        return self.manifest.get("kind", "run")
+
+    @property
+    def name(self) -> str:
+        return self.manifest.get("name", "")
+
+    @property
+    def started(self) -> float:
+        return float(self.manifest.get("started_unix", 0.0))
+
+    def summary(self) -> dict:
+        """The compact JSON shape the ``/runs`` endpoint lists."""
+        doc = {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "name": self.name,
+            "status": self.status_name,
+            "started_unix": self.started,
+            "entries": len(self.entries),
+        }
+        if "finished_unix" in self.status:
+            doc["finished_unix"] = self.status["finished_unix"]
+        if "error" in self.status:
+            doc["error"] = self.status["error"]
+        return doc
+
+    def detail(self) -> dict:
+        """The full JSON shape the ``/runs/<id>`` endpoint returns."""
+        doc = self.summary()
+        doc["manifest"] = self.manifest
+        doc["counters"] = self.counters
+        doc["entry_list"] = self.entries
+        return doc
+
+    def metrics_text(self) -> str | None:
+        """The finalised Prometheus dump, or ``None`` if never written."""
+        path = self.path / METRICS_FILE
+        return path.read_text() if path.exists() else None
+
+
+def _canonical_json(document: dict) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _read_json(path: Path, default: dict | None = None) -> dict:
+    if not path.exists():
+        return dict(default or {})
+    return json.loads(path.read_text())
+
+
+def _read_jsonl(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    rows: list[dict] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+class RunStore:
+    """The on-disk ledger of recorded runs."""
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        keep: int | None = None,
+    ) -> None:
+        if root is None:
+            root = os.environ.get(ENV_ROOT) or DEFAULT_ROOT
+        self.root = Path(root)
+        if keep is None:
+            raw = os.environ.get(ENV_KEEP)
+            keep = int(raw) if raw else DEFAULT_KEEP
+        if keep < 1:
+            raise RunStoreError("retention must keep at least one run")
+        self.keep = keep
+
+    # -- creation --------------------------------------------------------
+    def create(self, manifest: dict) -> OpenRun:
+        """Create a run directory for ``manifest``; status ``running``.
+
+        The id is derived from the manifest content itself, so the same
+        manifest bytes always name the same directory; a (timestamp +
+        pid) collision bumps a ``sequence`` field and re-hashes.
+        """
+        manifest = dict(manifest)
+        manifest.setdefault("started_unix", time.time())
+        stamp = time.strftime(
+            "%Y%m%dT%H%M%SZ", time.gmtime(manifest["started_unix"])
+        )
+        sequence = 0
+        while True:
+            if sequence:
+                manifest["sequence"] = sequence
+            digest = hashlib.sha256(
+                _canonical_json(manifest).encode()
+            ).hexdigest()
+            run_id = f"{stamp}-{digest[:10]}"
+            path = self.root / run_id
+            if not path.exists():
+                break
+            sequence += 1
+        manifest["run_id"] = run_id
+        path.mkdir(parents=True)
+        (path / MANIFEST_FILE).write_text(
+            json.dumps(manifest, indent=1, sort_keys=True) + "\n"
+        )
+        self.write_status(run_id, {"status": RUNNING})
+        return OpenRun(run_id=run_id, path=path)
+
+    def append_row(self, run_id: str, file_name: str, row: dict) -> None:
+        """Append one JSON row to a run's JSONL artifact (crash-safe:
+        each row is written and flushed independently)."""
+        with (self.root / run_id / file_name).open("a") as handle:
+            handle.write(json.dumps(row) + "\n")
+
+    def write_status(self, run_id: str, status: dict) -> None:
+        (self.root / run_id / STATUS_FILE).write_text(
+            json.dumps(status, indent=1, sort_keys=True) + "\n"
+        )
+
+    # -- lookup ----------------------------------------------------------
+    def run_ids(self) -> list[str]:
+        """Every recorded run id, oldest first."""
+        if not self.root.exists():
+            return []
+        ids = [
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / MANIFEST_FILE).exists()
+        ]
+        return sorted(ids)
+
+    def resolve(self, prefix: str) -> str:
+        """The unique run id starting with ``prefix`` (git-style)."""
+        matches = [
+            run_id
+            for run_id in self.run_ids()
+            if run_id.startswith(prefix)
+        ]
+        if not matches:
+            raise RunStoreError(
+                f"no run matching {prefix!r} under {self.root}"
+            )
+        if len(matches) > 1:
+            raise RunStoreError(
+                f"ambiguous run prefix {prefix!r}: "
+                + ", ".join(matches)
+            )
+        return matches[0]
+
+    def load(self, run_id: str) -> RunRecord:
+        path = self.root / run_id
+        manifest_path = path / MANIFEST_FILE
+        if not manifest_path.exists():
+            raise RunStoreError(
+                f"no run matching {run_id!r} under {self.root}"
+            )
+        counters_doc = _read_json(path / COUNTERS_FILE)
+        return RunRecord(
+            run_id=run_id,
+            path=path,
+            manifest=_read_json(manifest_path),
+            status=_read_json(path / STATUS_FILE, {"status": RUNNING}),
+            entries=_read_jsonl(path / ENTRIES_FILE),
+            counters=counters_doc.get("counters")
+            if counters_doc
+            else None,
+        )
+
+    def load_all(self) -> list[RunRecord]:
+        return [self.load(run_id) for run_id in self.run_ids()]
+
+    # -- retention -------------------------------------------------------
+    def prune(self, keep: int | None = None) -> list[str]:
+        """Delete the oldest finished runs beyond ``keep``; a run still
+        marked ``running`` is never pruned.  Returns the ids removed."""
+        keep = self.keep if keep is None else keep
+        finished = [
+            record
+            for record in self.load_all()
+            if record.status_name != RUNNING
+        ]
+        finished.sort(key=lambda record: (record.started, record.run_id))
+        removed: list[str] = []
+        for record in finished[: max(len(finished) - keep, 0)]:
+            shutil.rmtree(record.path)
+            removed.append(record.run_id)
+        return removed
+
+    def delete(self, run_id: str) -> None:
+        path = self.root / run_id
+        if not (path / MANIFEST_FILE).exists():
+            raise RunStoreError(
+                f"no run matching {run_id!r} under {self.root}"
+            )
+        shutil.rmtree(path)

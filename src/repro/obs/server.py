@@ -1,0 +1,196 @@
+"""A live observability HTTP service over the run ledger.
+
+``repro serve`` mounts the flight-recorder ledger (completed *and*
+in-flight runs — entries are appended incrementally, so a running
+process's jobs are visible mid-run) behind four endpoints:
+
+* ``/metrics`` — a Prometheus text-format scrape: run counts by
+  status, every recorded counter aggregated across runs, and the
+  ``mr.derived.*`` gauges per run entry (labelled ``run``/``entry``).
+* ``/runs`` — JSON list of recorded runs (id, kind, status, entries).
+* ``/runs/<id>`` — one run's full detail (manifest, counters, entries);
+  git-style unique id prefixes resolve.
+* ``/healthz`` — liveness probe.
+
+Stdlib only (``ThreadingHTTPServer``); this is the seam a job-service
+front end mounts, and what a Prometheus scraper points at.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.obs.metrics import (
+    _fmt,
+    escape_label_value,
+    prometheus_name,
+)
+from repro.obs.run_store import RunStore, RunStoreError
+
+
+def render_metrics(store: RunStore) -> str:
+    """The whole ledger as one Prometheus scrape.
+
+    Counters aggregate across every run's entries (pipeline entries
+    carry only their own ``pipeline.*`` ledger, so stage jobs are not
+    double-counted); derived gauges keep per-run, per-entry resolution
+    through labels.
+    """
+    runs = store.load_all()
+    by_status = {"running": 0, "completed": 0, "failed": 0}
+    counters: dict[str, float] = {}
+    derived: dict[str, list[tuple[str, int, str, float]]] = {}
+    entries_total = 0
+    for run in runs:
+        by_status[run.status_name] = by_status.get(run.status_name, 0) + 1
+        for entry in run.entries:
+            entries_total += 1
+            for name, value in entry.get("counters", {}).items():
+                counters[name] = counters.get(name, 0.0) + value
+            for name, value in entry.get("derived", {}).items():
+                derived.setdefault(name, []).append(
+                    (
+                        run.run_id,
+                        int(entry.get("index", 0)),
+                        str(entry.get("name", "")),
+                        value,
+                    )
+                )
+
+    lines = [
+        "# HELP repro_runs Recorded runs in the ledger, by status",
+        "# TYPE repro_runs gauge",
+    ]
+    for status in sorted(by_status):
+        lines.append(
+            f'repro_runs{{status="{escape_label_value(status)}"}} '
+            f"{by_status[status]}"
+        )
+    lines.append(
+        "# HELP repro_run_entries Recorded entries across all runs"
+    )
+    lines.append("# TYPE repro_run_entries gauge")
+    lines.append(f"repro_run_entries {entries_total}")
+
+    for raw in sorted(counters):
+        name = prometheus_name(raw)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(counters[raw])}")
+
+    for raw in sorted(derived):
+        name = prometheus_name(raw)
+        lines.append(f"# TYPE {name} gauge")
+        for run_id, index, entry_name, value in derived[raw]:
+            labels = (
+                f'run="{escape_label_value(run_id)}",'
+                f'index="{index}",'
+                f'entry="{escape_label_value(entry_name)}"'
+            )
+            lines.append(f"{name}{{{labels}}} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+class _LedgerHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], store: RunStore):
+        super().__init__(address, _Handler)
+        self.store = store
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        store: RunStore = self.server.store  # type: ignore[attr-defined]
+        try:
+            if path == "/healthz":
+                self._send(200, "ok\n", "text/plain; charset=utf-8")
+            elif path == "/metrics":
+                self._send(
+                    200,
+                    render_metrics(store),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/runs":
+                self._send_json(
+                    200, [run.summary() for run in store.load_all()]
+                )
+            elif path.startswith("/runs/"):
+                prefix = path[len("/runs/") :]
+                try:
+                    record = store.load(store.resolve(prefix))
+                except RunStoreError as exc:
+                    self._send_json(404, {"error": str(exc)})
+                    return
+                self._send_json(200, record.detail())
+            else:
+                self._send_json(404, {"error": f"no such path: {path}"})
+        except Exception as exc:  # a bad scrape must not kill the server
+            self._send_json(500, {"error": str(exc)})
+
+    def _send(self, code: int, body: str, content_type: str) -> None:
+        payload = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, code: int, document: object) -> None:
+        self._send(
+            code,
+            json.dumps(document, indent=1) + "\n",
+            "application/json",
+        )
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # keep scrapes quiet; errors surface as HTTP 500 bodies
+
+
+class ObservabilityServer:
+    """Lifecycle wrapper: serve inline (CLI) or on a thread (tests)."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._httpd = _LedgerHTTPServer((host, port), store)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        """Serve on a daemon thread (returns immediately)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()

@@ -36,6 +36,7 @@ from repro.mr.config import JobConf
 from repro.mr.engine import LocalJobRunner
 from repro.mr.split import split_records
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.flightrecorder import current_flight_recorder
 from repro.obs.trace import SpanRecord, current_trace_collector
 from repro.pipeline.convergence import resolve_until
 from repro.pipeline.dataset import Dataset, DatasetStore
@@ -295,6 +296,11 @@ class Pipeline:
             # The pipeline's stage timeline rides along the per-job
             # traces the engine already collected for ``--trace``.
             collector.add_job(f"pipeline:{self.name}", execution.spans, [])
+        recorder = current_flight_recorder()
+        if recorder is not None:
+            # Stage jobs were already recorded one by one through the
+            # engine hook; this entry adds the pipeline-level ledger.
+            recorder.record_pipeline(self.name, result)
         return result
 
 

@@ -80,24 +80,43 @@ class TestParamParsing:
 
 class TestJobsFlag:
     def test_extract_runner_flags(self) -> None:
-        jobs, trace, rest = _extract_runner_flags(
+        flags, rest = _extract_runner_flags(
             ["--num-queries", "100", "-j", "4", "--seed", "7"]
         )
-        assert jobs == 4
-        assert trace is None
+        assert flags.jobs == 4
+        assert flags.trace is None
         assert rest == ["--num-queries", "100", "--seed", "7"]
-        jobs, trace, rest = _extract_runner_flags(["--jobs", "2"])
-        assert (jobs, trace, rest) == (2, None, [])
-        jobs, trace, rest = _extract_runner_flags(["--num-queries", "100"])
-        assert (jobs, trace, rest) == (None, None, ["--num-queries", "100"])
+        flags, rest = _extract_runner_flags(["--jobs", "2"])
+        assert (flags.jobs, flags.trace, rest) == (2, None, [])
+        flags, rest = _extract_runner_flags(["--num-queries", "100"])
+        assert flags.jobs is None
+        assert flags.trace is None
+        assert rest == ["--num-queries", "100"]
 
     def test_extract_trace_flag(self) -> None:
-        jobs, trace, rest = _extract_runner_flags(
+        flags, rest = _extract_runner_flags(
             ["--trace", "out.json", "--seed", "7"]
         )
-        assert (jobs, trace, rest) == (None, "out.json", ["--seed", "7"])
-        jobs, trace, rest = _extract_runner_flags(["--trace=out.json"])
-        assert (jobs, trace, rest) == (None, "out.json", [])
+        assert (flags.jobs, flags.trace, rest) == (
+            None,
+            "out.json",
+            ["--seed", "7"],
+        )
+        flags, rest = _extract_runner_flags(["--trace=out.json"])
+        assert (flags.jobs, flags.trace, rest) == (None, "out.json", [])
+
+    def test_extract_record_flags(self) -> None:
+        flags, rest = _extract_runner_flags(
+            ["--record", "--runs-dir", "ledger", "--seed", "7"]
+        )
+        assert flags.record is True
+        assert flags.runs_dir == "ledger"
+        assert rest == ["--seed", "7"]
+        flags, rest = _extract_runner_flags(["--runs-dir=ledger"])
+        assert (flags.record, flags.runs_dir, rest) == (False, "ledger", [])
+        flags, _ = _extract_runner_flags(["--seed", "7"])
+        assert flags.record is False
+        assert flags.runs_dir is None
 
     def test_extract_jobs_flag_missing_value(self) -> None:
         with pytest.raises(ValueError, match="missing value"):
@@ -242,6 +261,111 @@ class TestTrace:
     def test_trace_missing_file(self, capsys, tmp_path) -> None:
         assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
         assert "no such trace file" in capsys.readouterr().err
+
+
+class TestRecordFlag:
+    def test_run_record_writes_bundle(self, capsys, tmp_path) -> None:
+        ledger = tmp_path / "runs"
+        status = main(
+            [
+                "run",
+                "sec71",
+                "--record",
+                "--runs-dir",
+                str(ledger),
+                "--num-lines",
+                "120",
+                "--num-reducers",
+                "2",
+                "--num-splits",
+                "2",
+            ]
+        )
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "Section 7.1" in captured.out
+        assert "run ledger:" in captured.err
+
+        import json
+
+        run_dirs = [p for p in ledger.iterdir() if p.is_dir()]
+        assert len(run_dirs) == 1
+        bundle = run_dirs[0]
+        for artifact in (
+            "manifest.json",
+            "status.json",
+            "entries.jsonl",
+            "counters.json",
+            "metrics.prom",
+            "events.jsonl",
+            "spans.jsonl",
+        ):
+            assert (bundle / artifact).exists(), artifact
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert manifest["name"] == "sec71"
+        assert manifest["kind"] == "experiment"
+        status_doc = json.loads((bundle / "status.json").read_text())
+        assert status_doc["status"] == "completed"
+        # The recorder hook was cleared on the way out.
+        from repro.obs.flightrecorder import current_flight_recorder
+
+        assert current_flight_recorder() is None
+
+    def test_failing_run_keeps_failed_bundle(
+        self, capsys, tmp_path, monkeypatch
+    ) -> None:
+        """A crash mid-experiment must still leave a status=failed run
+        directory holding whatever jobs completed before the death."""
+
+        def exploding_experiment():
+            from repro.mr.engine import LocalJobRunner
+            from repro.mr.split import split_records
+            from repro.workloads.wordcount import wordcount_job
+
+            job = wordcount_job(num_reducers=2)
+            splits = split_records([(0, "a b a"), (1, "b c")], num_splits=2)
+            LocalJobRunner().run(job, splits)
+            raise RuntimeError("boom after one recorded job")
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "exploding", (exploding_experiment, "test dummy")
+        )
+        ledger = tmp_path / "runs"
+        with pytest.raises(RuntimeError, match="boom"):
+            main(
+                [
+                    "run",
+                    "exploding",
+                    "--record",
+                    "--runs-dir",
+                    str(ledger),
+                    "--trace",
+                    str(tmp_path / "trace.json"),
+                ]
+            )
+
+        import json
+
+        assert "status=failed" in capsys.readouterr().err
+        run_dirs = [p for p in ledger.iterdir() if p.is_dir()]
+        assert len(run_dirs) == 1
+        bundle = run_dirs[0]
+        status_doc = json.loads((bundle / "status.json").read_text())
+        assert status_doc["status"] == "failed"
+        assert "boom after one recorded job" in status_doc["error"]
+        # Partial artifacts: the one job that ran before the crash.
+        entries = [
+            json.loads(line)
+            for line in (bundle / "entries.jsonl").read_text().splitlines()
+        ]
+        assert len(entries) == 1
+        assert entries[0]["name"] == "wordcount"
+        assert (bundle / "counters.json").exists()
+        # The partial trace flushed too (PR 4 contract still holds).
+        assert (tmp_path / "trace.jsonl").exists()
+        from repro.obs.flightrecorder import current_flight_recorder
+
+        assert current_flight_recorder() is None
 
 
 class TestBenchCommand:

@@ -162,6 +162,63 @@ def test_innode_combining_counters_identical_across_tiers(
     ), f"{part_name}: in-node combining did not reduce shuffle bytes"
 
 
+def test_flight_recorder_preserves_counters(tmp_path) -> None:
+    """Observability rider on the golden invariance: running with the
+    flight recorder installed must not move a single analytic counter,
+    and the recorded ``counters.json`` receipt must equal the live
+    run's analytic totals (measured-CPU families filtered).
+    """
+    import json
+
+    from repro.mr.counters import MEASURED_CPU_COUNTERS
+    from repro.obs.flightrecorder import (
+        FlightRecorder,
+        clear_flight_recorder,
+        set_flight_recorder,
+    )
+    from repro.obs.run_store import RunStore
+
+    job = strategy_variants(
+        query_suggestion_job(
+            num_reducers=NUM_REDUCERS,
+            sort_buffer_bytes=SORT_BUFFER_BYTES,
+        )
+    )["EagerSH"]
+
+    plain = _measure(job, True)
+    recorder = FlightRecorder(
+        RunStore(tmp_path), kind="experiment", name="invariance"
+    )
+    set_flight_recorder(recorder)
+    try:
+        recorded = _measure(job, True)
+    finally:
+        clear_flight_recorder()
+    recorder.finalize()
+
+    plain_counters = _analytic_counters(plain)
+    recorded_counters = _analytic_counters(recorded)
+    diff = {
+        name: (plain_counters.get(name), recorded_counters.get(name))
+        for name in set(plain_counters) | set(recorded_counters)
+        if plain_counters.get(name) != recorded_counters.get(name)
+    }
+    assert not diff, f"recorder-on counter drift: {diff}"
+    assert (
+        recorded.result.sorted_output() == plain.result.sorted_output()
+    )
+
+    receipt = json.loads(
+        (recorder.path / "counters.json").read_text()
+    )["counters"]
+    expected = {
+        name: value
+        for name, value in recorded.result.counters.as_dict().items()
+        if name not in MEASURED_CPU_COUNTERS
+    }
+    assert receipt == expected
+
+
 def test_speculative_execution_preserves_counters() -> None:
     """Fault-tolerance rider on the golden invariance: racing a
     speculative backup against an injected straggler must fold exactly

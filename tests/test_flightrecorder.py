@@ -1,0 +1,379 @@
+"""Tests for the flight recorder and the persistent run ledger.
+
+The load-bearing guarantees pinned here:
+
+* **Observation only** — job counters are byte-identical with the
+  recorder installed or not (the tracing on/off parity contract
+  extends to recording).
+* **Deterministic receipt** — two identical recorded runs produce
+  bit-identical ``counters.json`` files: the receipt holds only the
+  analytic counter fold, with the measured-CPU families filtered out.
+* **Crash-safe bundles** — entries/events/spans are appended as each
+  job finishes, so a run that dies mid-way still leaves a usable
+  post-mortem directory (exercised end-to-end in ``test_cli.py``).
+* **Retention** — pruning removes only the oldest *finished* runs and
+  never a run still marked ``running``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchResult, ledger_entries
+from repro.cli import main
+from repro.mr.counters import MEASURED_CPU_COUNTERS
+from repro.mr.cost import FixedCostMeter
+from repro.mr.engine import LocalJobRunner
+from repro.mr.split import split_records
+from repro.obs.export import load_jsonl
+from repro.obs.flightrecorder import (
+    FlightRecorder,
+    clear_flight_recorder,
+    current_flight_recorder,
+    deterministic_counters,
+    describe_job_conf,
+    set_flight_recorder,
+)
+from repro.obs.run_store import (
+    COMPLETED,
+    FAILED,
+    RUNNING,
+    RunStore,
+    RunStoreError,
+)
+from repro.pipeline import Pipeline
+from repro.workloads.wordcount import wordcount_job
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    yield
+    clear_flight_recorder()
+
+
+def _wordcount():
+    lines = [
+        (i, f"alpha beta gamma {i % 5} delta {i % 3}") for i in range(40)
+    ]
+    job = wordcount_job(num_reducers=2, cost_meter=FixedCostMeter())
+    return job, split_records(lines, num_splits=3)
+
+
+def _record_wordcount(store: RunStore) -> FlightRecorder:
+    recorder = FlightRecorder(store, kind="experiment", name="wc")
+    set_flight_recorder(recorder)
+    try:
+        job, splits = _wordcount()
+        LocalJobRunner().run(job, splits)
+    finally:
+        clear_flight_recorder()
+    recorder.finalize(COMPLETED)
+    return recorder
+
+
+# -- recording --------------------------------------------------------------
+class TestRecording:
+    def test_engine_hook_records_each_job(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        recorder = _record_wordcount(store)
+        record = store.load(recorder.run_id)
+        assert record.status_name == COMPLETED
+        assert len(record.entries) == 1
+        entry = record.entries[0]
+        assert entry["kind"] == "job"
+        assert entry["name"] == "wordcount"
+        assert entry["counters"]["map.input.records"] == 40
+        assert entry["conf"]["num_reducers"] == 2
+        assert entry["conf"]["strategy"] == "original"
+        assert "mr.derived.replication.rate" in entry["derived"]
+        assert len(entry["shuffle_bytes_per_reducer"]) == 2
+
+    def test_disabled_recorder_is_none(self) -> None:
+        assert current_flight_recorder() is None
+
+    def test_recording_is_observation_only(self, tmp_path) -> None:
+        job, splits = _wordcount()
+        plain = LocalJobRunner().run(job, splits)
+
+        recorder = FlightRecorder(
+            RunStore(tmp_path), kind="experiment", name="wc"
+        )
+        set_flight_recorder(recorder)
+        try:
+            job2, splits2 = _wordcount()
+            recorded = LocalJobRunner().run(job2, splits2)
+        finally:
+            clear_flight_recorder()
+        recorder.finalize(COMPLETED)
+        assert recorded.counters.as_dict() == plain.counters.as_dict()
+        assert recorded.output == plain.output
+
+    def test_spans_jsonl_is_trace_compatible(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        recorder = _record_wordcount(store)
+        jobs = load_jsonl(recorder.path / "spans.jsonl")
+        assert len(jobs) == 1
+        assert jobs[0].job_name == "wordcount"
+        assert jobs[0].spans
+
+    def test_events_jsonl_has_attempt_rows(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        recorder = _record_wordcount(store)
+        rows = [
+            json.loads(line)
+            for line in (recorder.path / "events.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert rows
+        assert all(row["type"] == "event" for row in rows)
+        kinds = {row["kind"] for row in rows}
+        assert "map" in kinds and "reduce" in kinds
+
+
+# -- the deterministic receipt ----------------------------------------------
+class TestCountersReceipt:
+    def test_receipt_filters_measured_cpu(self) -> None:
+        counters = {"map.input.records": 3.0}
+        for name in MEASURED_CPU_COUNTERS:
+            counters[name] = 1.23
+        counters["cpu.framework.seconds"] = 0.5
+        receipt = deterministic_counters(counters)
+        assert receipt == {
+            "map.input.records": 3.0,
+            "cpu.framework.seconds": 0.5,
+        }
+
+    def test_counters_json_matches_run_fold(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        recorder = _record_wordcount(store)
+        doc = json.loads((recorder.path / "counters.json").read_text())
+        assert doc["schema"] == 1
+        assert not MEASURED_CPU_COUNTERS & set(doc["counters"])
+        record = store.load(recorder.run_id)
+        entry_counters = record.entries[0]["counters"]
+        for name, value in doc["counters"].items():
+            assert entry_counters[name] == value
+
+    def test_two_identical_fig9_runs_bit_identical(
+        self, capsys, tmp_path
+    ) -> None:
+        """The acceptance criterion: same workload, same knobs, default
+        (measured) cost meter — the receipts must match byte for byte."""
+        ledger = tmp_path / "runs"
+        argv = [
+            "run",
+            "fig9",
+            "--record",
+            "--runs-dir",
+            str(ledger),
+            "--num-queries",
+            "120",
+            "--num-splits",
+            "2",
+        ]
+        assert main(list(argv)) == 0
+        assert main(list(argv)) == 0
+        capsys.readouterr()
+        receipts = sorted(ledger.glob("*/counters.json"))
+        assert len(receipts) == 2
+        assert receipts[0].read_bytes() == receipts[1].read_bytes()
+
+    def test_metrics_prom_written(self, tmp_path) -> None:
+        from repro.obs.metrics import validate_prometheus_text
+
+        recorder = _record_wordcount(RunStore(tmp_path))
+        families = validate_prometheus_text(
+            (recorder.path / "metrics.prom").read_text()
+        )
+        assert any(name.startswith("mr_derived_") for name in families)
+
+    def test_finalize_is_idempotent(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        recorder = _record_wordcount(store)
+        assert recorder.finalize(FAILED) == recorder.run_id
+        assert store.load(recorder.run_id).status_name == COMPLETED
+
+
+# -- pipeline + bench entries ------------------------------------------------
+class TestOtherEntryKinds:
+    def test_pipeline_entry_folds_only_pipeline_counters(
+        self, tmp_path
+    ) -> None:
+        store = RunStore(tmp_path)
+        recorder = FlightRecorder(store, kind="experiment", name="pl")
+        set_flight_recorder(recorder)
+        try:
+            pipeline = Pipeline("wc")
+            lines = pipeline.source(
+                "lines", [(i, f"a b {i % 3}") for i in range(12)]
+            )
+            pipeline.mapreduce(
+                "count",
+                wordcount_job(num_reducers=2, cost_meter=FixedCostMeter()),
+                lines,
+                num_splits=2,
+            )
+            pipeline.run()
+        finally:
+            clear_flight_recorder()
+        recorder.finalize(COMPLETED)
+
+        record = store.load(recorder.run_id)
+        kinds = [entry["kind"] for entry in record.entries]
+        # The stage job via the engine hook, then the pipeline entry.
+        assert kinds == ["job", "pipeline"]
+        pipeline_entry = record.entries[1]
+        assert pipeline_entry["name"] == "pipeline:wc"
+        assert pipeline_entry["stages"] == ["lines", "count"]
+        assert all(
+            name.startswith("pipeline.")
+            for name in pipeline_entry["counters"]
+        )
+        # Job counters are not double-counted in the run receipt.
+        doc = json.loads((recorder.path / "counters.json").read_text())
+        job_counters = record.entries[0]["counters"]
+        assert (
+            doc["counters"]["map.input.records"]
+            == job_counters["map.input.records"]
+        )
+
+    def test_bench_entries_recorded(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        results = [
+            BenchResult("serde", 0.2, 0.1, repeats=3, records=1000),
+            BenchResult("spill", 0.4, 0.4, repeats=3),
+        ]
+        recorder = FlightRecorder(store, kind="bench", name="bench")
+        recorder.record_bench(results)
+        recorder.finalize(COMPLETED)
+
+        record = store.load(recorder.run_id)
+        assert [entry["name"] for entry in record.entries] == [
+            "serde",
+            "spill",
+        ]
+        doc = json.loads((recorder.path / "counters.json").read_text())
+        assert doc["counters"]["bench.serde.current.seconds"] == 0.1
+        assert doc["counters"]["bench.serde.speedup"] == 2.0
+        assert doc["counters"]["bench.serde.records"] == 1000.0
+
+    def test_ledger_entries_shape(self) -> None:
+        entries = ledger_entries(
+            [BenchResult("x", 1.0, 0.5, repeats=2)]
+        )
+        assert entries[0]["kind"] == "bench"
+        assert entries[0]["counters"]["bench.x.speedup"] == 2.0
+        assert "bench.x.records" not in entries[0]["counters"]
+
+
+# -- manifest ---------------------------------------------------------------
+class TestManifest:
+    def test_manifest_provenance_and_conf(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        recorder = FlightRecorder(
+            store,
+            kind="experiment",
+            name="wc",
+            params={"wc": {"num_lines": 40}},
+            argv=["run", "wc", "--num-lines", "40"],
+        )
+        recorder.finalize(COMPLETED)
+        manifest = store.load(recorder.run_id).manifest
+        assert manifest["schema"] == 1
+        assert manifest["params"] == {"wc": {"num_lines": 40}}
+        assert manifest["argv"] == ["run", "wc", "--num-lines", "40"]
+        assert "python" in manifest["env"]
+        assert manifest["run_id"] == recorder.run_id
+
+    def test_describe_job_conf_anti_strategy(self) -> None:
+        from repro.core.config import Strategy
+        from repro.core.transform import enable_anti_combining
+
+        job = wordcount_job(num_reducers=2)
+        described = describe_job_conf(job)
+        assert described["strategy"] == "original"
+        anti = enable_anti_combining(
+            job, strategy=Strategy.LAZY, use_shared_combiner=False
+        )
+        described = describe_job_conf(anti)
+        assert described["strategy"] == "lazy"
+        assert described["threshold_t"] == "inf"
+
+
+# -- the store: lookup + retention -------------------------------------------
+class TestRunStore:
+    def _finished_run(self, store: RunStore, tag: int) -> str:
+        run = store.create({"kind": "t", "name": f"r{tag}", "started_unix": float(tag)})
+        store.write_status(run.run_id, {"status": COMPLETED})
+        return run.run_id
+
+    def test_resolve_prefix(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        run_id = self._finished_run(store, 1)
+        assert store.resolve(run_id[:12]) == run_id
+        with pytest.raises(RunStoreError, match="no run matching"):
+            store.resolve("zzz")
+
+    def test_resolve_ambiguous(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        a = self._finished_run(store, 1)
+        b = store.create(
+            {"kind": "t", "name": "other", "started_unix": 1.0}
+        ).run_id
+        assert a[:16] == b[:16]  # same timestamp prefix
+        with pytest.raises(RunStoreError, match="ambiguous"):
+            store.resolve(a[:16])
+
+    def test_identical_manifests_get_distinct_ids(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        manifest = {"kind": "t", "name": "same", "started_unix": 5.0}
+        a = store.create(dict(manifest))
+        b = store.create(dict(manifest))
+        assert a.run_id != b.run_id
+
+    def test_prune_keeps_newest_and_running(self, tmp_path) -> None:
+        store = RunStore(tmp_path, keep=2)
+        ids = [self._finished_run(store, tag) for tag in range(1, 5)]
+        running = store.create(
+            {"kind": "t", "name": "live", "started_unix": 0.5}
+        ).run_id
+        removed = store.prune()
+        assert sorted(removed) == sorted(ids[:2])
+        survivors = set(store.run_ids())
+        assert running in survivors
+        assert set(ids[2:]) <= survivors
+
+    def test_prune_never_drops_below_one(self, tmp_path) -> None:
+        with pytest.raises(RunStoreError, match="at least one"):
+            RunStore(tmp_path, keep=0)
+
+    def test_env_overrides(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "env-root"))
+        monkeypatch.setenv("REPRO_RUNS_KEEP", "7")
+        store = RunStore()
+        assert store.root == tmp_path / "env-root"
+        assert store.keep == 7
+
+    def test_load_unknown_run(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        with pytest.raises(RunStoreError, match="no run matching"):
+            store.load("nope")
+
+    def test_delete(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        run_id = self._finished_run(store, 1)
+        store.delete(run_id)
+        assert store.run_ids() == []
+        with pytest.raises(RunStoreError):
+            store.delete(run_id)
+
+    def test_running_record_has_no_counters(self, tmp_path) -> None:
+        store = RunStore(tmp_path)
+        run = store.create({"kind": "t", "name": "live"})
+        record = store.load(run.run_id)
+        assert record.status_name == RUNNING
+        assert record.counters is None
+        assert record.summary()["status"] == RUNNING

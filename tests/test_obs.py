@@ -33,8 +33,11 @@ from repro.mr.split import split_records
 from repro.obs.export import chrome_trace, load_jsonl, write_jsonl
 from repro.obs.metrics import (
     MetricsRegistry,
+    escape_label_value,
     parse_prometheus_counters,
+    parse_prometheus_text,
     prometheus_name,
+    validate_prometheus_text,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -554,3 +557,275 @@ class TestEventLogUnderParallelExecutor:
         # The retried run still matches a clean serial run.
         clean = LocalJobRunner().run(job, splits)
         assert result.counters.as_dict() == clean.counters.as_dict()
+
+
+# -- exposition-format audit (text format 0.0.4) ---------------------------
+
+
+class TestExpositionFormat:
+    """Parser-based audit of ``prometheus_text`` against format 0.0.4."""
+
+    def _job_dump(self) -> str:
+        job, splits = _wordcount()
+        result = LocalJobRunner().run(job, splits)
+        return result.metrics.prometheus_text()
+
+    def test_job_dump_validates(self) -> None:
+        families = validate_prometheus_text(self._job_dump())
+        # Every family in an engine dump is explicitly typed.
+        assert families
+        assert all(
+            family["type"] != "untyped" for family in families.values()
+        )
+
+    def test_histogram_series_complete(self) -> None:
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "task.seconds", "per-task latency", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        families = validate_prometheus_text(registry.prometheus_text())
+        samples = families["task_seconds"]["samples"]
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        # Cumulative buckets with an explicit +Inf equal to _count.
+        buckets = {
+            labels["le"]: value
+            for labels, value in by_name["task_seconds_bucket"]
+        }
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+        assert by_name["task_seconds_count"] == [({}, 3.0)]
+        assert by_name["task_seconds_sum"][0][1] == pytest.approx(5.55)
+
+    def test_help_escaping_roundtrip(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter(
+            "odd.counter", 'help with \\backslash and\nnewline'
+        ).add(1)
+        families = validate_prometheus_text(registry.prometheus_text())
+        assert (
+            families["odd_counter"]["help"]
+            == "help with \\backslash and\nnewline"
+        )
+
+    def test_label_value_escaping_roundtrip(self) -> None:
+        name = 'job "A"\\with\nall three'
+        text = (
+            "# TYPE demo gauge\n"
+            f'demo{{entry="{escape_label_value(name)}"}} 1\n'
+        )
+        families = validate_prometheus_text(text)
+        assert families["demo"]["samples"][0][1]["entry"] == name
+
+    def test_parser_rejects_malformed(self) -> None:
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus_text(
+                "# TYPE a counter\n# TYPE a counter\na 1\n"
+            )
+        with pytest.raises(ValueError, match="after its samples"):
+            parse_prometheus_text("a 1\n# TYPE a counter\n")
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("not a sample !!\n")
+        with pytest.raises(ValueError, match="unknown TYPE"):
+            parse_prometheus_text("# TYPE a widget\n")
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus_text("a one\n")
+
+    def test_validator_rejects_broken_histograms(self) -> None:
+        with pytest.raises(ValueError, match="missing explicit"):
+            validate_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\nh_sum 1\nh_count 1\n'
+            )
+        with pytest.raises(ValueError, match="not cumulative"):
+            validate_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 2\nh_bucket{le="+Inf"} 1\n'
+                "h_sum 1\nh_count 1\n"
+            )
+        with pytest.raises(ValueError, match="missing _sum"):
+            validate_prometheus_text(
+                '# TYPE h histogram\nh_bucket{le="+Inf"} 1\n'
+            )
+        with pytest.raises(ValueError, match="\\+Inf bucket != _count"):
+            validate_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 1\nh_sum 1\nh_count 2\n'
+            )
+
+    def test_merge_registry_aggregates(self) -> None:
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        bag_a, bag_b = Counters(), Counters()
+        bag_a.add("x", 1.0)
+        bag_b.add("x", 2.0)
+        a.merge_counters(bag_a)
+        b.merge_counters(bag_b)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(5.0)
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0,)).observe(2.0)
+        a.merge_registry(b)
+        assert a.job_counters().as_dict() == {"x": 3.0}
+        assert a.gauge_values()["g"] == 5.0  # last write wins
+        snapshot = a.histogram_snapshots()["h"]
+        assert snapshot["count"] == 2
+        assert snapshot["sum"] == 2.5
+
+    def test_merge_registry_bucket_mismatch_rejected(self) -> None:
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,))
+        b.histogram("h", buckets=(2.0,))
+        with pytest.raises(ValueError, match="bucket layouts"):
+            a.merge_registry(b)
+
+
+# -- derived analytics (mr.derived.* gauges) -------------------------------
+
+
+class TestDerivedMetrics:
+    def test_replication_rate_matches_counters(self) -> None:
+        job, splits = _wordcount()
+        result = LocalJobRunner().run(job, splits)
+        gauges = result.metrics.gauge_values()
+        counters = result.counters.as_dict()
+        assert gauges["mr.derived.replication.rate"] == (
+            counters["map.output.records"] / counters["map.input.records"]
+        )
+
+    def test_shuffle_skew_matches_partitions(self) -> None:
+        job, splits = _wordcount()
+        result = LocalJobRunner().run(job, splits)
+        gauges = result.metrics.gauge_values()
+        partitions = result.shuffle_bytes_per_reducer
+        mean = sum(partitions) / len(partitions)
+        assert gauges["mr.derived.shuffle.partition.max.bytes"] == max(
+            partitions
+        )
+        assert gauges["mr.derived.shuffle.partition.mean.bytes"] == mean
+        assert gauges["mr.derived.shuffle.skew"] == max(partitions) / mean
+
+    def test_wave_quantiles_present(self) -> None:
+        job, splits = _wordcount()
+        result = LocalJobRunner().run(job, splits)
+        gauges = result.metrics.gauge_values()
+        for kind in ("map", "reduce"):
+            p50 = gauges[f"mr.derived.{kind}.wall.p50.seconds"]
+            p95 = gauges[f"mr.derived.{kind}.wall.p95.seconds"]
+            peak = gauges[f"mr.derived.{kind}.wall.max.seconds"]
+            assert 0 <= p50 <= p95 <= peak
+            assert gauges[f"mr.derived.{kind}.straggler.ratio"] >= 1.0
+
+    def test_anti_decision_counts(self) -> None:
+        job, splits = _anti_job()
+        result = LocalJobRunner().run(job, splits)
+        gauges = result.metrics.gauge_values()
+        counters = result.counters.as_dict()
+        assert (
+            gauges["mr.derived.anti.eager.records"]
+            == counters[C.ANTI_EAGER_RECORDS]
+        )
+        assert gauges["mr.derived.anti.eager.records"] > 0
+        assert gauges["mr.derived.anti.plain.records"] == counters.get(
+            C.ANTI_PLAIN_RECORDS, 0.0
+        )
+
+    def test_innode_legality_gauges(self) -> None:
+        # WordCount's combiner does not declare monoidal = True.
+        job, splits = _wordcount()
+        gauges = LocalJobRunner().run(job, splits).metrics.gauge_values()
+        assert gauges["mr.derived.innode.enabled"] == 0.0
+        assert gauges["mr.derived.innode.combine.legal"] == 0.0
+
+        # Query-Suggestion's combiner declares monoidal = True: legal
+        # for the in-node stage even when innode combining is off.
+        queries = generate_query_log(num_queries=60, seed=7)
+        job = query_suggestion_job(
+            k=3,
+            num_reducers=2,
+            with_combiner=True,
+            cost_meter=FixedCostMeter(),
+        )
+        result = LocalJobRunner().run(
+            job, split_records(queries, num_splits=2)
+        )
+        gauges = result.metrics.gauge_values()
+        assert gauges["mr.derived.innode.enabled"] == 0.0
+        assert gauges["mr.derived.innode.combine.legal"] == 1.0
+
+    def test_derived_gauges_stay_out_of_job_counters(self) -> None:
+        job, splits = _wordcount()
+        result = LocalJobRunner().run(job, splits)
+        assert not any(
+            name.startswith("mr.derived.")
+            for name in result.counters.as_dict()
+        )
+
+
+# -- export edge cases ------------------------------------------------------
+
+
+class TestExportEdgeCases:
+    def test_zero_job_jsonl_roundtrip(self, tmp_path) -> None:
+        path = write_jsonl(tmp_path / "empty.jsonl", [])
+        assert path.exists()
+        assert load_jsonl(path) == []
+
+    def test_unicode_span_names_roundtrip(self, tmp_path) -> None:
+        trace = JobTrace(
+            job_name="naïve—job ✓",
+            spans=[
+                SpanRecord(
+                    name="φάση.μap 🚀",
+                    category="task",
+                    start=0.0,
+                    duration=1.0,
+                    attrs={"task": "map0", "note": "héllo"},
+                )
+            ],
+            events=[],
+        )
+        path = write_jsonl(tmp_path / "unicode.jsonl", [trace])
+        (restored,) = load_jsonl(path)
+        assert restored.job_name == trace.job_name
+        assert restored.spans == trace.spans
+        # The Chrome document survives a strict JSON round-trip too.
+        document = json.loads(json.dumps(chrome_trace([trace])))
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "φάση.μap 🚀" in names
+
+    def test_failed_attempt_slice_carries_error(self) -> None:
+        job, splits = _wordcount()
+        runner = LocalJobRunner(
+            max_attempts=2, fault_policy=ScriptedFaults({"map0": 1})
+        )
+        result = runner.run(job, splits)
+        trace = JobTrace(
+            job_name=job.name, spans=[], events=result.events.as_dicts()
+        )
+        slices = [
+            e
+            for e in chrome_trace([trace])["traceEvents"]
+            if e["ph"] == "X" and e["name"].endswith("[FAILED]")
+        ]
+        assert len(slices) == 1
+        assert "error" in slices[0]["args"]
+        assert "injected fault" in slices[0]["args"]["error"]
+
+    def test_chrome_trace_json_is_strictly_valid(self) -> None:
+        job, splits = _anti_job()
+        collector = TraceCollector()
+        set_trace_collector(collector)
+        try:
+            LocalJobRunner().run(job, splits)
+        finally:
+            clear_trace_collector()
+        payload = json.dumps(chrome_trace(collector.jobs))
+        document = json.loads(payload)
+        assert document["traceEvents"]
+        # allow_nan=False would have raised on Infinity/NaN; check
+        # explicitly that the payload is interchange-safe JSON.
+        json.dumps(document, allow_nan=False)
