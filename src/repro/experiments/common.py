@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import gc
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.config import Strategy
 from repro.core.transform import enable_anti_combining
@@ -13,6 +15,26 @@ from repro.mr.config import JobConf
 from repro.mr.engine import JobResult, LocalJobRunner
 from repro.mr.executor import Executor
 from repro.mr.runtime_model import ClusterModel
+
+
+@contextmanager
+def paused_gc() -> Iterator[None]:
+    """Pause cyclic GC for a whole multi-job experiment sweep.
+
+    The engine already pauses collection inside each job run; pausing
+    across the sweep also skips the catch-up collections *between*
+    jobs, which rescan every retained ``JobResult`` output graph and
+    dominate collector time in a strategy-sweep driver.  Collection
+    resumes (and catches up once) when the sweep finishes.
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 @dataclass

@@ -106,6 +106,18 @@ class Context:
     # Alias used throughout the paper's pseudo-code.
     emit = write
 
+    def write_all(self, pairs: Iterable[tuple[Any, Any]]) -> None:
+        """Emit a sequence of ``(key, value)`` records.
+
+        Equivalent to calling :meth:`write` once per pair; capture
+        contexts override this with a single list ``extend``, so
+        mappers with precomputed emission runs (e.g. a prefix
+        expansion) skip the per-record call chain entirely.
+        """
+        sink = self._sink
+        for key, value in pairs:
+            sink(key, value)
+
     def get_partition(self, key: Any) -> int:
         """Partition assignment for ``key`` under this job's Partitioner."""
         if self.partitioner is None:
@@ -164,6 +176,10 @@ class CaptureContext(Context):
 
     emit = write
 
+    def write_all(self, pairs: Iterable[tuple[Any, Any]]) -> None:
+        """Emit a sequence of pairs with one C-level ``extend``."""
+        self._sink.__self__.extend(pairs)
+
 
 class Mapper:
     """Base mapper: identity (emits its input unchanged)."""
@@ -220,11 +236,39 @@ class Partitioner:
         raise NotImplementedError
 
 
+#: Cap on the per-partitioner-instance key → partition memo.
+_PARTITION_MEMO_LIMIT = 1 << 16
+
+
 class HashPartitioner(Partitioner):
-    """The default partitioner: stable hash modulo task count."""
+    """The default partitioner: stable hash modulo task count.
+
+    Assignments are memoised per instance (the hot paths call
+    ``get_partition`` once per emitted record, and intermediate keys
+    repeat heavily); the memo is keyed by the key itself and reset if
+    the partition count ever changes, so the assignment for any key is
+    exactly ``stable_hash(key) % num_partitions`` either way.
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict = {}
+        self._memo_partitions: int | None = None
 
     def get_partition(self, key: Any, num_partitions: int) -> int:
-        return stable_hash(key) % num_partitions
+        memo = self._memo
+        if self._memo_partitions != num_partitions:
+            memo.clear()
+            self._memo_partitions = num_partitions
+        try:
+            partition = memo.get(key)
+        except TypeError:  # unhashable key
+            return stable_hash(key) % num_partitions
+        if partition is None:
+            partition = stable_hash(key) % num_partitions
+            if len(memo) >= _PARTITION_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = partition
+        return partition
 
 
 class KeyFieldPartitioner(Partitioner):

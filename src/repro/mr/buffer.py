@@ -221,7 +221,10 @@ class MapOutputBuffer:
         raw = bytes(scratch) if keep else b""
 
         model = job.framework_cost_model
-        serialize_cost = model.serialize_cost
+        # serialize_cost(size) is exactly ``rate * size``; inline the
+        # multiply (same operands, same order — bit-identical) to skip
+        # a method call per record.
+        serialize_rate = model.serialize_sec_per_byte
         record_charge = model.record_cost(1)
         values = counters.raw()
         output_records = 0
@@ -255,7 +258,7 @@ class MapOutputBuffer:
                 append((partition, pair[0], pair[1]))
             output_records += 1
             output_bytes += size
-            framework += serialize_cost(size) + record_charge
+            framework += serialize_rate * size + record_charge
             buffered += size
             if buffered >= limit_bytes or len(records) >= limit_records:
                 flush_accumulators()

@@ -12,6 +12,7 @@ them into a simulated wall-clock runtime.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -71,14 +72,8 @@ class JobResult:
             result.extend(self.outputs_by_partition[partition])
         return result
 
-    def sorted_output(self) -> list[Record]:
-        """Job output as a canonically-ordered list (for comparisons).
-
-        Records are ordered by their serialised bytes; the encode runs
-        as one run-oriented batch and the sort permutes indices, so
-        equal-key ties keep their stable order without ever comparing
-        the (possibly uncomparable) record objects themselves.
-        """
+    def _record_encodings(self) -> list[bytes]:
+        """Each output record's serialised bytes, in output order."""
         from repro.mr import serde
 
         output = self.output
@@ -91,6 +86,28 @@ class JobResult:
             end = offset + size
             keys.append(data[offset:end])
             offset = end
+        return keys
+
+    def canonical_output(self) -> list[bytes]:
+        """The output as sorted per-record encodings.
+
+        The cheapest equality witness: the encoding is deterministic
+        and injective, so two results have equal output multisets
+        exactly when their canonical byte lists are equal — without
+        rebuilding (or even comparing) the record objects.
+        """
+        return sorted(self._record_encodings())
+
+    def sorted_output(self) -> list[Record]:
+        """Job output as a canonically-ordered list (for comparisons).
+
+        Records are ordered by their serialised bytes; the encode runs
+        as one run-oriented batch and the sort permutes indices, so
+        equal-key ties keep their stable order without ever comparing
+        the (possibly uncomparable) record objects themselves.
+        """
+        output = self.output
+        keys = self._record_encodings()
         order = sorted(range(len(output)), key=keys.__getitem__)
         return [output[index] for index in order]
 
@@ -230,9 +247,20 @@ class LocalJobRunner:
             clock=self._clock,
             sleep=self._sleep,
         )
+        # Pause cyclic GC for the duration of the run: the dataflow
+        # allocates heavily in tight loops but builds almost no cycles
+        # (tuples/strings/lists freed by refcount), so collector sweeps
+        # are pure pause time — the classic batch-runner trade.  A run
+        # is bounded, and collection resumes (and catches up on its
+        # threshold) as soon as the job finishes.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             result = scheduler.execute(job, splits)
         finally:
+            if gc_was_enabled:
+                gc.enable()
             if owned:
                 executor.close()
         if collector is not None:

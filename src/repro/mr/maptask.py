@@ -15,7 +15,7 @@ from typing import Any, Iterable
 
 from repro.mr import counters as C
 from repro.mr import fastpath, serde
-from repro.mr.api import Context
+from repro.mr.api import CaptureContext
 from repro.mr.buffer import MapOutputBuffer
 from repro.mr.config import JobConf
 from repro.mr.counters import Counters
@@ -87,9 +87,12 @@ class MapTask:
         counters = counters if counters is not None else Counters()
         store = LocalStore(counters, node=self.task_id)
         pending: list[tuple[Any, Any]] = []
-        context = Context(
+        # A capture context: ``write`` appends the pair directly and
+        # ``write_all`` extends the pending list at C level — no lambda
+        # frame on the once-per-emitted-record path.
+        context = CaptureContext(
             counters=counters,
-            sink=lambda key, value: pending.append((key, value)),
+            sink=pending.append,
             partitioner=job.partitioner,
             num_partitions=job.num_reducers,
             task_id=self.task_id,

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from repro.mr import counters as C
 from repro.mr import events as E
 from repro.mr import serde
+from repro.mr import shm
 from repro.mr.api import Context
 from repro.mr.buffer import CombineRunner
 from repro.mr.compress import get_codec
@@ -432,6 +433,7 @@ def _run_map_attempt(
     split: list[Record],
     fault: FaultSpec | None,
     trace: bool = False,
+    shm_prefix: str | None = None,
 ) -> MapTaskResult:
     _execute_fault(fault, task_id)
     counters = Counters()
@@ -444,6 +446,15 @@ def _run_map_attempt(
             exc, counters.total_cpu_seconds(), tracer.records()
         ) from exc
     result.spans = tracer.records()
+    if shm_prefix is not None:
+        # Shared-memory shuffle plane: publish the finished segments
+        # into one block and return descriptors instead of bytes.  The
+        # publish is transport-only (it copies the already-charged
+        # payload bytes), so counters are untouched; a failed publish
+        # keeps the inline payloads — the automatic pickle-5 fallback.
+        published = shm.publish_segments(shm_prefix, result.segments)
+        if published is not None:
+            result.segments = published
     return result
 
 
@@ -466,6 +477,11 @@ def _run_reduce_attempt(
         raise TaskAttemptFailure(
             exc, counters.total_cpu_seconds(), tracer.records()
         ) from exc
+    finally:
+        # Close this attempt's shared-memory attachments: the decoded
+        # output holds no views, and the worker must not accumulate
+        # mappings across the attempts it hosts.  No-op off the plane.
+        shm.release_attachments()
     result.spans = tracer.records()
     return result
 
@@ -546,6 +562,9 @@ class JobScheduler:
         policy: RetryPolicy,
         events: EventLog,
         clock: Callable[[], float],
+        fused: bool = False,
+        on_result: Callable[[int, Any], None] | None = None,
+        on_discard: Callable[[Any], None] | None = None,
     ) -> list[Any]:
         """Run one wave of tasks under the full fault-tolerance envelope.
 
@@ -561,6 +580,14 @@ class JobScheduler:
         On a terminal failure the remaining in-flight attempts are
         drained first (their FINISH/FAIL events and spans are recorded)
         so the event log stays complete for post-mortem analysis.
+
+        ``fused`` amortizes dispatch: attempts that become ready in the
+        same tick are submitted through :meth:`Executor.submit_many`
+        (the pool executor chunks them into a few fused envelopes).
+        ``on_result`` observes each task's winning result as it is
+        folded; ``on_discard`` observes completed results that are
+        thrown away (a speculative loser finishing after the winner) —
+        the shared-memory arena uses the pair to drive block leases.
         """
         tracer = self._tracer
         total = len(task_ids)
@@ -607,6 +634,37 @@ class JobScheduler:
                 future = CompletedFuture(error=exc)
             live[index] += 1
             running.append(_Attempt(index, number, future, started, speculative))
+
+        def launch_group(indices: Sequence[int]) -> None:
+            """Launch a batch of due attempts through one fused submit.
+
+            Event order matches per-task launches exactly (a START per
+            attempt, in task order, before anything runs); only the
+            dispatch is batched.
+            """
+            pending: list[tuple[int, int, float]] = []
+            argsets: list[tuple] = []
+            for index in indices:
+                number = next_attempt[index]
+                next_attempt[index] = number + 1
+                task_id = task_ids[index]
+                fault = self._policy.fault_for(kind, task_id, number)
+                started = clock()
+                events.append(
+                    TaskEvent(
+                        task_id=task_id,
+                        kind=kind,
+                        event=E.START,
+                        attempt=number,
+                        t_seconds=started,
+                    )
+                )
+                argsets.append(args_for(index, fault))
+                pending.append((index, number, started))
+            futures = self._executor.submit_many(fn, argsets)
+            for (index, number, started), future in zip(pending, futures):
+                live[index] += 1
+                running.append(_Attempt(index, number, future, started))
 
         def record_fail(att: _Attempt, error: str, cpu: float = 0.0) -> None:
             events.append(
@@ -703,6 +761,8 @@ class JobScheduler:
                         t_seconds=finished_at,
                     )
                 )
+                if on_discard is not None:
+                    on_discard(result)
                 return False
             done.add(index)
             results[index] = result
@@ -728,6 +788,8 @@ class JobScheduler:
                 task=task_id,
                 attempt=att.number,
             )
+            if on_result is not None:
+                on_result(index, result)
             return False
 
         def kill_siblings(of: _Attempt) -> None:
@@ -757,18 +819,26 @@ class JobScheduler:
             while len(done) < total:
                 progressed = False
 
-                # 1) Launch everything whose backoff has expired.
+                # 1) Launch everything whose backoff has expired — as
+                #    one fused batch when dispatch amortization is on.
                 now = clock()
                 waiting: list[tuple[float, int]] = []
+                due: list[int] = []
                 for not_before, index in ready:
                     if index in done:
                         continue
                     if now < not_before:
                         waiting.append((not_before, index))
                     else:
-                        launch(index)
-                        progressed = True
+                        due.append(index)
                 ready[:] = waiting
+                if due:
+                    progressed = True
+                    if fused and len(due) > 1:
+                        launch_group(due)
+                    else:
+                        for index in due:
+                            launch(index)
 
                 # 2) Collect completed attempts (in submission order).
                 completed: list[_Attempt] = []
@@ -1002,6 +1072,57 @@ class JobScheduler:
         tracer.sync(clock)
         trace = tracer.enabled
 
+        # Shared-memory shuffle plane (REPRO_SHM): on executors whose
+        # results cross a process boundary, map attempts publish their
+        # segment bytes into arena blocks and ship descriptors; the
+        # arena's ref-counted leases unlink each block as its last
+        # consuming reduce task folds, and `close()` (run on *every*
+        # exit path) unlinks stragglers and sweeps the job prefix.
+        arena = (
+            shm.SegmentArena() if shm.plane_active(self._executor) else None
+        )
+        shm_prefix = arena.prefix if arena is not None else None
+        # Dispatch amortization rides the same toggle.  Scripted-fault
+        # runs keep per-attempt dispatch: a fused chunk dies as a unit
+        # when its worker crashes, which would spread one injected
+        # fault's casualties onto innocent chunk-mates' event logs.
+        fused = (
+            shm.enabled()
+            and self._executor.requires_pickling
+            and isinstance(self._policy, NoFaults)
+        )
+        try:
+            return self._execute_waves(
+                job,
+                split_lists,
+                policy,
+                events,
+                clock,
+                trace,
+                arena,
+                shm_prefix,
+                fused,
+            )
+        finally:
+            if arena is not None:
+                arena.close()
+
+    def _execute_waves(
+        self,
+        job: JobConf,
+        split_lists: list[list[Record]],
+        policy: RetryPolicy,
+        events: EventLog,
+        clock: Callable[[], float],
+        trace: bool,
+        arena: "shm.SegmentArena | None",
+        shm_prefix: str | None,
+        fused: bool,
+    ) -> "Any":
+        from repro.mr.engine import JobResult
+
+        tracer = self._tracer
+
         # Map wave.
         map_ids = [f"map{index}" for index in range(len(split_lists))]
         map_results: list[MapTaskResult] = self._run_wave(
@@ -1014,10 +1135,24 @@ class JobScheduler:
                 split_lists[index],
                 fault,
                 trace,
+                shm_prefix,
             ),
             policy,
             events,
             clock,
+            fused=fused,
+            on_result=(
+                None
+                if arena is None
+                else lambda index, result: arena.adopt_segments(
+                    result.segments
+                )
+            ),
+            on_discard=(
+                None
+                if arena is None
+                else lambda result: arena.discard_segments(result.segments)
+            ),
         )
         map_costs = [
             TaskCost(
@@ -1053,6 +1188,10 @@ class JobScheduler:
                 ]
                 for partition in range(job.num_reducers)
             ]
+        if arena is not None:
+            # One lease per (block, consuming reduce task): a block is
+            # unlinked the moment its last consumer's result folds.
+            arena.lease_plan(shuffle_plan)
 
         # Reduce wave.
         reduce_ids = [
@@ -1072,6 +1211,14 @@ class JobScheduler:
             policy,
             events,
             clock,
+            fused=fused,
+            on_result=(
+                None
+                if arena is None
+                else lambda index, result: arena.release_plan_entry(
+                    shuffle_plan[index]
+                )
+            ),
         )
         reduce_costs = [
             TaskCost(
@@ -1113,6 +1260,11 @@ class JobScheduler:
         self._record_derived_metrics(
             metrics, events, job, totals, shuffle_bytes
         )
+        if arena is not None:
+            # Close before recording so the stats include the final
+            # sweep; `close()` is idempotent — the scheduler's finally
+            # (and any error path) still runs it.
+            self._record_shm_metrics(metrics, arena.close())
 
         return JobResult(
             job_name=job.name,
@@ -1127,6 +1279,43 @@ class JobScheduler:
             spans=tracer.records(),
             metrics=metrics,
         )
+
+    @staticmethod
+    def _record_shm_metrics(
+        metrics: MetricsRegistry, stats: "shm.ArenaStats"
+    ) -> None:
+        """The ``mr.shm.*`` gauges: what the shuffle plane carried.
+
+        Observational only — like the ``mr.derived.*`` pass, nothing
+        here enters the job-counter ledger, so the plane's metrics can
+        never perturb the counter-determinism contract (the receipts'
+        ``counters.json`` stays bit-identical shm-on vs shm-off).
+        """
+        for name, help_text, value in (
+            ("mr.shm.blocks", "Shared-memory blocks published", stats.blocks),
+            ("mr.shm.bytes", "Shuffle bytes carried in shared memory", stats.bytes),
+            (
+                "mr.shm.leases.granted",
+                "Block leases granted to reduce tasks",
+                stats.leases_granted,
+            ),
+            (
+                "mr.shm.leases.released",
+                "Block leases released by folded reduce tasks",
+                stats.leases_released,
+            ),
+            (
+                "mr.shm.fallbacks",
+                "Map tasks that fell back to the inline pickle path",
+                stats.fallbacks,
+            ),
+            (
+                "mr.shm.swept",
+                "Blocks removed by the end-of-job sweep",
+                stats.swept,
+            ),
+        ):
+            metrics.gauge(name, help_text).set(float(value))
 
     @staticmethod
     def _record_wave_metrics(

@@ -940,6 +940,13 @@ def decode_kv(data: Any) -> tuple[Any, Any]:
     return key, value
 
 
+#: Per-process memo of ``(str, str)`` record encodings, used by the
+#: batch encoder's dominant run shape.  Capped; cleared wholesale when
+#: full (the working set of any one job fits comfortably).
+_KV_PAIR_MEMO: dict[tuple[str, str], bytes] = {}
+_KV_PAIR_MEMO_LIMIT = 1 << 16
+
+
 def encode_kv_batch(out: bytearray, pairs: Any) -> list[int]:
     """Append the encoding of every ``(key, value)`` record in ``pairs``
     to ``out``; return the per-record payload sizes.
@@ -981,8 +988,21 @@ def encode_kv_batch(out: bytearray, pairs: Any) -> list[int]:
             i = j
             continue
         if key_kind is str and value_kind is str:
+            # Memoised per distinct pair: intermediate (key, value)
+            # pairs repeat heavily (duplicate inputs, multi-job
+            # experiments over one log), and the hit path is a dict
+            # lookup + one buffer extend instead of two utf-8 encodes
+            # and eight appends.  Equal pairs encode identically, so
+            # the bytes are exactly the inline encode's.
+            memo_get = _KV_PAIR_MEMO.get
             for index in range(i, j):
-                key, value = pairs[index]
+                pair = pairs[index]
+                cached = memo_get(pair)
+                if cached is not None:
+                    out += cached
+                    sizes_append(len(cached))
+                    continue
+                key, value = pair
                 before = len(out)
                 raw = key.encode("utf-8")
                 append(0x05)  # _TAG_STR
@@ -1000,6 +1020,48 @@ def encode_kv_batch(out: bytearray, pairs: Any) -> list[int]:
                     size >>= 7
                 append(size)
                 out += raw
+                size = len(out) - before
+                sizes_append(size)
+                if len(_KV_PAIR_MEMO) >= _KV_PAIR_MEMO_LIMIT:
+                    _KV_PAIR_MEMO.clear()
+                _KV_PAIR_MEMO[pair] = bytes(out[before:])
+        elif key_kind is str and value_kind is list:
+            # The reduce-output shape (str key, list value) — inline
+            # the key encode and the list header, and dispatch only on
+            # non-str elements; byte-identical to _enc_str + _enc_list.
+            for index in range(i, j):
+                key, value = pairs[index]
+                before = len(out)
+                raw = key.encode("utf-8")
+                append(0x05)  # _TAG_STR
+                size = len(raw)
+                while size > 0x7F:
+                    append(size & 0x7F | 0x80)
+                    size >>= 7
+                append(size)
+                out += raw
+                append(0x08)  # _TAG_LIST
+                size = len(value)
+                while size > 0x7F:
+                    append(size & 0x7F | 0x80)
+                    size >>= 7
+                append(size)
+                for item in value:
+                    if type(item) is str:
+                        raw = item.encode("utf-8")
+                        append(0x05)  # _TAG_STR
+                        size = len(raw)
+                        while size > 0x7F:
+                            append(size & 0x7F | 0x80)
+                            size >>= 7
+                        append(size)
+                        out += raw
+                    else:
+                        encoder = get(type(item))
+                        if encoder is not None:
+                            encoder(out, item)
+                        else:
+                            _encode_fallback(out, item)
                 sizes_append(len(out) - before)
         else:
             enc_key = get(key_kind, _encode_fallback)

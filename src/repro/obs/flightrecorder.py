@@ -42,6 +42,11 @@ SCHEMA_VERSION = 1
 #: Gauge-name prefix of the scheduler's derived-analytics pass.
 DERIVED_PREFIX = "mr.derived."
 
+#: Gauge-name prefix of the shared-memory shuffle plane's stats; like
+#: the derived pass these are observational (never in the counter
+#: receipt) but belong in the per-job entry rows for `runs diff`.
+SHM_PREFIX = "mr.shm."
+
 
 def run_environment() -> dict:
     """Interpreter/machine provenance recorded into every manifest."""
@@ -152,7 +157,7 @@ class FlightRecorder:
         derived = {
             gauge: value
             for gauge, value in result.metrics.gauge_values().items()
-            if gauge.startswith(DERIVED_PREFIX)
+            if gauge.startswith((DERIVED_PREFIX, SHM_PREFIX))
         }
         self._store.append_row(
             self._run_id,

@@ -37,13 +37,28 @@ from repro.mr.api import (
 from repro.mr.config import JobConf
 
 
+#: Per-process memo of a query's prefix expansion.  Query logs repeat
+#: queries heavily (the Zipf head, and every job of a multi-job
+#: experiment replays the same log), so the ``(prefix, query)`` runs —
+#: and, importantly, the *same prefix string objects* with their cached
+#: hashes — are built once per distinct query.
+_PREFIX_PAIRS: dict[str, tuple] = {}
+_PREFIX_PAIRS_LIMIT = 1 << 15
+
+
 class QuerySuggestionMapper(Mapper):
     """Emit ``(prefix, query)`` for every prefix of the query."""
 
     def map(self, key: Any, query: str, context: Context) -> None:
-        write = context.write
-        for end in range(1, len(query) + 1):
-            write(query[:end], query)
+        pairs = _PREFIX_PAIRS.get(query)
+        if pairs is None:
+            pairs = tuple(
+                (query[:end], query) for end in range(1, len(query) + 1)
+            )
+            if len(_PREFIX_PAIRS) >= _PREFIX_PAIRS_LIMIT:
+                _PREFIX_PAIRS.clear()
+            _PREFIX_PAIRS[query] = pairs
+        context.write_all(pairs)
 
 
 def _merge_counts(values: Iterator[Any]) -> dict:
@@ -88,13 +103,17 @@ class QuerySuggestionReducer(Reducer):
 
     def reduce(self, key: Any, values: Iterator[Any], context: Context) -> None:
         counts = _merge_counts(values)
+        if len(counts) == 1:
+            # The common case by far (most prefixes see one distinct
+            # query): no ordering to compute.
+            context.write(key, list(counts))
+            return
         # Two stable sorts give (count desc, query asc) without a
         # per-item key tuple: lexicographic first, then by count with
         # ``reverse=True`` (which keeps equal counts in lexicographic
         # order — ``reverse`` does not disturb stability).
         top = sorted(counts)
-        if len(top) > 1:
-            top.sort(key=counts.__getitem__, reverse=True)
+        top.sort(key=counts.__getitem__, reverse=True)
         context.write(key, top[: self.k])
 
 
@@ -106,13 +125,32 @@ class PrefixPartitioner(Partitioner):
     sharing on very short prefixes for more distinct partitions.
     """
 
+    #: Cap on the per-instance key → partition memo.
+    _MEMO_LIMIT = 1 << 16
+
     def __init__(self, prefix_len: int):
         if prefix_len < 1:
             raise ValueError("prefix_len must be >= 1")
         self.prefix_len = prefix_len
+        self._memo: dict[str, int] = {}
+        self._memo_partitions: int | None = None
 
     def get_partition(self, key: str, num_partitions: int) -> int:
-        return stable_hash(key[: self.prefix_len]) % num_partitions
+        # Memoised per instance, like HashPartitioner: the assignment
+        # for a key is pure, and intermediate keys repeat heavily.
+        memo = self._memo
+        if self._memo_partitions != num_partitions:
+            memo.clear()
+            self._memo_partitions = num_partitions
+        partition = memo.get(key)
+        if partition is None:
+            partition = (
+                stable_hash(key[: self.prefix_len]) % num_partitions
+            )
+            if len(memo) >= self._MEMO_LIMIT:
+                memo.clear()
+            memo[key] = partition
+        return partition
 
 
 def query_suggestion_job(

@@ -422,3 +422,78 @@ class TestBenchCommand:
         monkeypatch.chdir(tmp_path)
         assert main(["bench", "--quick", "--suite", "executor", "--check"]) == 2
         assert "BENCH_hotpaths.json" in capsys.readouterr().err
+
+    def test_bench_check_flags_scaling_regression(
+        self, capsys, tmp_path, monkeypatch
+    ) -> None:
+        import json
+
+        from repro.bench.harness import BenchResult
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH_hotpaths.json").write_text(
+            json.dumps({"schema": 2, "benchmarks": {}})
+        )
+        fake = [
+            BenchResult(
+                name="scaling.workers2",
+                baseline_s=0.9,
+                current_s=1.0,
+                repeats=1,
+            )
+        ]
+        monkeypatch.setattr(
+            "repro.bench.run_suites", lambda **kwargs: fake
+        )
+        assert main(["bench", "--quick", "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "scaling regression" in err
+        assert "scaling.workers2" in err
+
+
+class TestScalingGate:
+    def _result(self, name: str, speedup: float):
+        from repro.bench.harness import BenchResult
+
+        return BenchResult(
+            name=name, baseline_s=speedup, current_s=1.0, repeats=1
+        )
+
+    def test_fixed_width_gated_on_any_host(self) -> None:
+        from repro.bench.harness import scaling_regressions
+
+        results = [
+            self._result("scaling.workers2", 1.2),
+            self._result("scaling.workers4", 0.97),
+            self._result("e2e.fig9", 0.5),  # not a scaling benchmark
+        ]
+        assert scaling_regressions(results) == ["scaling.workers4"]
+
+    def test_curve_gated_only_with_enough_cores(self, monkeypatch) -> None:
+        import repro.bench.harness as harness
+
+        results = [
+            self._result("scaling.curve.workers2", 0.8),
+            self._result("scaling.curve.workers4", 0.7),
+        ]
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 1)
+        assert harness.scaling_regressions(results) == []
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 2)
+        assert harness.scaling_regressions(results) == [
+            "scaling.curve.workers2"
+        ]
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 8)
+        assert harness.scaling_regressions(results) == [
+            "scaling.curve.workers2",
+            "scaling.curve.workers4",
+        ]
+
+    def test_curve_passes_when_positive(self, monkeypatch) -> None:
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 8)
+        results = [
+            self._result("scaling.curve.workers2", 1.6),
+            self._result("scaling.workers2", 1.1),
+        ]
+        assert harness.scaling_regressions(results) == []

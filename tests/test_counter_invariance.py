@@ -162,6 +162,58 @@ def test_innode_combining_counters_identical_across_tiers(
     ), f"{part_name}: in-node combining did not reduce shuffle bytes"
 
 
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_shm_plane_counters_identical(strategy) -> None:
+    """Shared-memory shuffle rider on the golden invariance: with the
+    zero-copy shuffle plane on, the segment bytes travel through
+    ``/dev/shm`` blocks instead of the pool pipes — and not one
+    analytic counter may move, because every transfer/spill/merge
+    charge is derived from the same payload lengths either way.
+    """
+    from repro.mr import shm
+    from repro.mr.engine import LocalJobRunner
+    from repro.mr.executor import ParallelExecutor
+
+    if not shm.available():
+        pytest.skip("POSIX shared memory unavailable")
+
+    job = strategy_variants(
+        query_suggestion_job(
+            num_reducers=NUM_REDUCERS,
+            sort_buffer_bytes=SORT_BUFFER_BYTES,
+        )
+    )[strategy]
+
+    with ParallelExecutor(max_workers=2) as pool:
+        runner = LocalJobRunner(executor=pool)
+        with shm.forced(False):
+            off = runner.run(job, _splits())
+        with shm.forced(True):
+            on = runner.run(job, _splits())
+
+    # The plane really carried the shuffle on the "on" leg.
+    assert on.metrics.gauge_values()["mr.shm.blocks"] >= 1.0
+    assert "mr.shm.blocks" not in off.metrics.gauge_values()
+
+    off_counters = {
+        name: value
+        for name, value in off.counters.as_dict().items()
+        if not name.startswith(MEASURED_CPU_PREFIXES)
+    }
+    on_counters = {
+        name: value
+        for name, value in on.counters.as_dict().items()
+        if not name.startswith(MEASURED_CPU_PREFIXES)
+    }
+    diff = {
+        name: (off_counters.get(name), on_counters.get(name))
+        for name in set(off_counters) | set(on_counters)
+        if off_counters.get(name) != on_counters.get(name)
+    }
+    assert not diff, f"{strategy}: shm-plane counter drift: {diff}"
+    assert on.sorted_output() == off.sorted_output()
+
+
 def test_flight_recorder_preserves_counters(tmp_path) -> None:
     """Observability rider on the golden invariance: running with the
     flight recorder installed must not move a single analytic counter,
