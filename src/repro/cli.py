@@ -25,9 +25,14 @@ Commands:
   profiling breakdown of a recorded ``.jsonl`` trace.
 * ``python -m repro runs ls|show|diff`` — inspect the ledger; ``diff``
   compares two runs' counters, derived gauges and phase breakdowns.
-* ``python -m repro serve`` — HTTP service over the ledger with a live
+* ``python -m repro serve`` — HTTP job service over the ledger: a live
   Prometheus ``/metrics`` scrape plus ``/runs``, ``/runs/<id>`` and
-  ``/healthz`` (see ``docs/observability.md``).
+  ``/healthz``, and a job-submission write path (``POST /jobs`` into a
+  bounded queue executed by ``--workers`` threads; a full queue
+  answers 429 + Retry-After).  See ``docs/observability.md``.
+* ``python -m repro loadgen`` — replay many jobs against a live server
+  and verify zero accepted jobs are lost and every ``/metrics`` scrape
+  stays valid under load.
 * ``python -m repro summary`` — aggregate the benchmark reports under
   ``benchmarks/results/`` into one document.
 * ``python -m repro bench [--quick] [--check]`` — run the hot-path
@@ -464,15 +469,30 @@ def _cmd_bench(
     return 0
 
 
-def _cmd_serve(host: str, port: int, runs_dir: str | None) -> int:
+def _cmd_serve(
+    host: str,
+    port: int,
+    runs_dir: str | None,
+    workers: int,
+    queue_depth: int,
+) -> int:
+    from repro.obs.jobservice import JobService
     from repro.obs.run_store import RunStore
     from repro.obs.server import ObservabilityServer
 
     store = RunStore(runs_dir)
-    server = ObservabilityServer(store, host=host, port=port)
+    service = JobService(
+        store, workers=workers, queue_depth=queue_depth
+    ).start()
+    server = ObservabilityServer(
+        store, host=host, port=port, service=service
+    )
     print(
         f"serving run ledger {store.root} on {server.url} "
-        "(endpoints: /metrics /runs /runs/<id> /healthz; Ctrl-C stops)",
+        "(endpoints: /metrics /runs /runs/<id> /healthz "
+        "POST /jobs /jobs/<id>; "
+        f"{workers} worker(s), queue depth {queue_depth}; "
+        "Ctrl-C drains and stops)",
         file=sys.stderr,
     )
     try:
@@ -480,8 +500,53 @@ def _cmd_serve(host: str, port: int, runs_dir: str | None) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        # Graceful drain: stop admitting, let queued + in-flight jobs
+        # finish (each finalises its ledger bundle), then stop serving
+        # reads so a watching scraper sees the final state.
+        print(
+            "draining job queue (accepted jobs finish; Ctrl-C again "
+            "to abort)...",
+            file=sys.stderr,
+        )
+        service.drain()
         server.stop()
     return 0
+
+
+def _cmd_loadgen(
+    url: str,
+    experiment: str,
+    overrides: list[str],
+    count: int,
+    concurrency: int,
+    timeout: float,
+) -> int:
+    from repro.obs.loadgen import run_load
+
+    if experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {experiment!r}; "
+            "run 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    if overrides and overrides[0] == "--":
+        overrides = overrides[1:]
+    try:
+        params = _parse_overrides(overrides, EXPERIMENTS[experiment][0])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_load(
+        url=url,
+        experiment=experiment,
+        params=params,
+        count=count,
+        concurrency=concurrency,
+        timeout=timeout,
+    )
+    print(report.summary())
+    return 0 if report.ok() else 1
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -630,6 +695,63 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="ledger root (default: .repro/runs or REPRO_RUNS_DIR)",
     )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="job-execution worker threads (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="bounded admission queue depth; a full queue answers "
+        "429 with Retry-After (default: 16)",
+    )
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="replay many jobs against a live 'repro serve' and "
+        "verify no accepted job is lost",
+    )
+    loadgen_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:9464",
+        help="base URL of the running server",
+    )
+    loadgen_parser.add_argument(
+        "--experiment",
+        default="fig9",
+        help="experiment to submit (default: fig9)",
+    )
+    loadgen_parser.add_argument(
+        "--count",
+        type=int,
+        default=100,
+        metavar="N",
+        help="jobs to submit (default: 100)",
+    )
+    loadgen_parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent submitter threads (default: 8)",
+    )
+    loadgen_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="overall deadline for submit + completion (default: 600)",
+    )
+    loadgen_parser.add_argument(
+        "overrides",
+        nargs=argparse.REMAINDER,
+        help="experiment parameter overrides as --param value pairs "
+        "(sent with every job)",
+    )
     runs_parser = subparsers.add_parser(
         "runs", help="inspect the recorded run ledger"
     )
@@ -682,7 +804,22 @@ def main(argv: list[str] | None = None) -> int:
                 args.runs_dir,
             )
         if args.command == "serve":
-            return _cmd_serve(args.host, args.port, args.runs_dir)
+            return _cmd_serve(
+                args.host,
+                args.port,
+                args.runs_dir,
+                args.workers,
+                args.queue_depth,
+            )
+        if args.command == "loadgen":
+            return _cmd_loadgen(
+                args.url,
+                args.experiment,
+                args.overrides,
+                args.count,
+                args.concurrency,
+                args.timeout,
+            )
         if args.command == "runs":
             return _cmd_runs(args)
         if args.jobs is not None:

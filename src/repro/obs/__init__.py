@@ -19,8 +19,11 @@ those bytes and CPU seconds happened.
   persistent run ledger: every recorded run leaves a content-addressed
   directory under ``.repro/runs`` with its manifest, deterministic
   counter receipt, Prometheus dump, events and spans.
-* :mod:`repro.obs.server` — the ``repro serve`` HTTP service exposing
-  the ledger (``/metrics`` Prometheus scrape, ``/runs``, ``/healthz``).
+* :mod:`repro.obs.server` / :mod:`repro.obs.jobservice` — the
+  ``repro serve`` HTTP service: ledger reads (``/metrics`` Prometheus
+  scrape, ``/runs``, ``/healthz``) plus the job-submission write path
+  (``POST /jobs`` into a bounded queue, executed by a worker pool with
+  per-job flight recorders).
 """
 
 from repro.obs.trace import (
@@ -49,11 +52,14 @@ from repro.obs.flightrecorder import (
     current_flight_recorder,
     set_flight_recorder,
 )
+from repro.obs.jobservice import JobRecord, JobService
 from repro.obs.run_store import RunRecord, RunStore, RunStoreError
 
 __all__ = [
     "NULL_TRACER",
     "FlightRecorder",
+    "JobRecord",
+    "JobService",
     "JobTrace",
     "MetricsRegistry",
     "RunRecord",

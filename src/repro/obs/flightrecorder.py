@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Sequence
@@ -46,6 +47,13 @@ DERIVED_PREFIX = "mr.derived."
 #: the derived pass these are observational (never in the counter
 #: receipt) but belong in the per-job entry rows for `runs diff`.
 SHM_PREFIX = "mr.shm."
+
+
+def _write_atomic(path: Path, payload: str) -> None:
+    """Write a finalisation artifact atomically (temp file + rename)."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(payload)
+    os.replace(tmp, path)
 
 
 def run_environment() -> dict:
@@ -124,6 +132,11 @@ class FlightRecorder:
         self._entry_index = 0
         self._error: str | None = None
         self._finalized = False
+        #: One recorder may be fed from several threads (a pipeline's
+        #: concurrent stages, the job service's workers): the lock
+        #: keeps each entry's (index, metrics fold, rows) atomic so the
+        #: fold order matches the entry order.
+        self._lock = threading.Lock()
         manifest = {
             "schema": SCHEMA_VERSION,
             "kind": kind,
@@ -148,6 +161,10 @@ class FlightRecorder:
     # -- recording -------------------------------------------------------
     def record_job(self, job: Any, result: Any) -> None:
         """Record one finished job (called by the engine after a run)."""
+        with self._lock:
+            self._record_job_locked(job, result)
+
+    def _record_job_locked(self, job: Any, result: Any) -> None:
         index = self._entry_index
         self._entry_index += 1
         name = getattr(result, "job_name", None) or getattr(
@@ -185,6 +202,10 @@ class FlightRecorder:
         (``pipeline.*`` cache/stage counters) folds in here — job
         counters are never double-counted.
         """
+        with self._lock:
+            self._record_pipeline_locked(name, result)
+
+    def _record_pipeline_locked(self, name: str, result: Any) -> None:
         index = self._entry_index
         self._entry_index += 1
         entry_name = f"pipeline:{name}"
@@ -219,15 +240,19 @@ class FlightRecorder:
         from repro.bench.harness import ledger_entries
 
         for entry in ledger_entries(results):
-            index = self._entry_index
-            self._entry_index += 1
-            bag = Counters()
-            for cname in sorted(entry["counters"]):
-                bag.add(cname, entry["counters"][cname])
-            self._metrics.merge_counters(bag)
-            self._store.append_row(
-                self._run_id, ENTRIES_FILE, {"index": index, **entry}
-            )
+            with self._lock:
+                self._record_bench_entry_locked(entry)
+
+    def _record_bench_entry_locked(self, entry: dict) -> None:
+        index = self._entry_index
+        self._entry_index += 1
+        bag = Counters()
+        for cname in sorted(entry["counters"]):
+            bag.add(cname, entry["counters"][cname])
+        self._metrics.merge_counters(bag)
+        self._store.append_row(
+            self._run_id, ENTRIES_FILE, {"index": index, **entry}
+        )
 
     def record_error(self, exc: BaseException) -> None:
         """Attach a terminal failure to the run's final status.
@@ -236,17 +261,18 @@ class FlightRecorder:
         (terminal task failures do), its events join the post-mortem
         bundle under a ``terminal-failure`` pseudo-job.
         """
-        self._error = f"{type(exc).__name__}: {exc}"
-        events = getattr(exc, "events", None)
-        if events is not None:
-            rows = (
-                events.as_dicts()
-                if hasattr(events, "as_dicts")
-                else list(events)
-            )
-            self._append_events(
-                self._entry_index, "terminal-failure", rows
-            )
+        with self._lock:
+            self._error = f"{type(exc).__name__}: {exc}"
+            events = getattr(exc, "events", None)
+            if events is not None:
+                rows = (
+                    events.as_dicts()
+                    if hasattr(events, "as_dicts")
+                    else list(events)
+                )
+                self._append_events(
+                    self._entry_index, "terminal-failure", rows
+                )
 
     # -- finalisation ----------------------------------------------------
     def finalize(self, status: str = COMPLETED) -> str:
@@ -257,31 +283,36 @@ class FlightRecorder:
         bit; the full fold including measured CPU lives in
         ``metrics.prom`` and the per-entry rows.
         """
-        if self._finalized:
-            return self._run_id
-        self._finalized = True
-        analytic = deterministic_counters(
-            self._metrics.job_counters().as_dict()
-        )
-        (self._path / COUNTERS_FILE).write_text(
-            json.dumps(
-                {"schema": SCHEMA_VERSION, "counters": analytic},
-                indent=1,
-                sort_keys=True,
+        with self._lock:
+            if self._finalized:
+                return self._run_id
+            self._finalized = True
+            analytic = deterministic_counters(
+                self._metrics.job_counters().as_dict()
             )
-            + "\n"
-        )
-        (self._path / METRICS_FILE).write_text(
-            self._metrics.prometheus_text()
-        )
-        status_doc: dict[str, Any] = {
-            "status": status,
-            "finished_unix": time.time(),
-            "entries": self._entry_index,
-        }
-        if self._error is not None:
-            status_doc["error"] = self._error
-        self._store.write_status(self._run_id, status_doc)
+            # Receipt and dump land atomically (temp file + rename):
+            # a concurrent scrape never observes a torn receipt.
+            _write_atomic(
+                self._path / COUNTERS_FILE,
+                json.dumps(
+                    {"schema": SCHEMA_VERSION, "counters": analytic},
+                    indent=1,
+                    sort_keys=True,
+                )
+                + "\n",
+            )
+            _write_atomic(
+                self._path / METRICS_FILE,
+                self._metrics.prometheus_text(),
+            )
+            status_doc: dict[str, Any] = {
+                "status": status,
+                "finished_unix": time.time(),
+                "entries": self._entry_index,
+            }
+            if self._error is not None:
+                status_doc["error"] = self._error
+            self._store.write_status(self._run_id, status_doc)
         self._store.prune()
         return self._run_id
 
@@ -311,21 +342,52 @@ class FlightRecorder:
             self._store.append_row(self._run_id, EVENTS_FILE, row)
 
 
-# -- the process-wide hook -------------------------------------------------
+# -- the process-wide (and thread-scoped) hook -----------------------------
 
 _recorder: FlightRecorder | None = None
+_thread_hook = threading.local()
+
+#: Hook scopes: ``"process"`` is the CLI's classic one-run-per-process
+#: install; ``"thread"`` scopes the recorder to the calling thread so
+#: the job service's worker pool can run many recorded jobs
+#: concurrently in one process without clobbering each other.
+PROCESS_SCOPE = "process"
+THREAD_SCOPE = "thread"
 
 
-def set_flight_recorder(recorder: FlightRecorder) -> None:
-    """Install a process-wide recorder; jobs run after this are recorded."""
-    global _recorder
-    _recorder = recorder
+def _check_scope(scope: str) -> None:
+    if scope not in (PROCESS_SCOPE, THREAD_SCOPE):
+        raise ValueError(
+            f"unknown flight-recorder scope {scope!r}; "
+            f"expected {PROCESS_SCOPE!r} or {THREAD_SCOPE!r}"
+        )
 
 
-def clear_flight_recorder() -> None:
-    global _recorder
-    _recorder = None
+def set_flight_recorder(
+    recorder: FlightRecorder, scope: str = PROCESS_SCOPE
+) -> None:
+    """Install a recorder; jobs run after this are recorded.
+
+    A thread-scoped recorder shadows the process-wide one for the
+    installing thread only (the engine resolves thread-local first).
+    """
+    _check_scope(scope)
+    if scope == THREAD_SCOPE:
+        _thread_hook.recorder = recorder
+    else:
+        global _recorder
+        _recorder = recorder
+
+
+def clear_flight_recorder(scope: str = PROCESS_SCOPE) -> None:
+    _check_scope(scope)
+    if scope == THREAD_SCOPE:
+        _thread_hook.recorder = None
+    else:
+        global _recorder
+        _recorder = None
 
 
 def current_flight_recorder() -> FlightRecorder | None:
-    return _recorder
+    recorder = getattr(_thread_hook, "recorder", None)
+    return recorder if recorder is not None else _recorder

@@ -1,0 +1,375 @@
+"""The job-submission write path of ``repro serve``.
+
+PR 7 built the *read* side of the heavy-traffic job service — the
+flight recorder, the persistent :class:`~repro.obs.run_store.RunStore`
+ledger, and the HTTP endpoints over it.  This module is the missing
+*write* half: a :class:`JobService` accepts job specs (an experiment
+name plus parameter overrides), admits them into a **bounded queue**
+(a full queue is an explicit rejection the HTTP layer maps to a 429
+with ``Retry-After``, not an unbounded backlog), and executes them on
+a small pool of worker threads through the existing engine/scheduler.
+
+Each job runs under its own **thread-scoped** flight recorder writing
+into the shared store, so:
+
+* ``GET /runs/<id>`` and ``/metrics`` serve a submitted job's status,
+  receipt and ``mr.derived.*`` gauges the moment they land;
+* a job submitted over HTTP produces a ``counters.json`` receipt
+  **bit-identical** to the same job run via ``repro run --record``
+  (the receipt is the deterministic analytic counter fold, and the
+  worker drives the exact same experiment driver the CLI does);
+* many jobs recording concurrently in one process never clobber each
+  other — the process-wide hook of the one-run-per-process CLI days
+  would, which is why :mod:`repro.obs.flightrecorder` grew scopes.
+
+Shutdown is graceful: :meth:`JobService.drain` stops admission,
+lets queued and in-flight jobs finish, then parks the workers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.obs.flightrecorder import (
+    THREAD_SCOPE,
+    FlightRecorder,
+    clear_flight_recorder,
+    set_flight_recorder,
+)
+from repro.obs.run_store import COMPLETED, FAILED, RunStore
+
+#: Job lifecycle states (``queued`` → ``running`` → ``done``/``failed``).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED_STATE = "failed"
+
+DEFAULT_WORKERS = 2
+DEFAULT_QUEUE_DEPTH = 16
+#: Seconds a rejected client should wait before retrying (the HTTP
+#: layer sends it as the ``Retry-After`` header of the 429).
+DEFAULT_RETRY_AFTER = 1.0
+
+#: Queue sentinel that parks one worker thread.
+_STOP = object()
+
+
+class JobSpecError(ValueError):
+    """The submitted job document is malformed (HTTP 400)."""
+
+
+class JobQueueFull(RuntimeError):
+    """Admission control rejected the job (HTTP 429 + Retry-After)."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceDraining(RuntimeError):
+    """The service is shutting down; no new jobs (HTTP 503)."""
+
+
+@dataclass
+class JobRecord:
+    """One submitted job, from admission to its ledger run id."""
+
+    job_id: str
+    experiment: str
+    params: dict
+    state: str
+    submitted_unix: float
+    run_id: str | None = None
+    error: str | None = None
+    started_unix: float | None = None
+    finished_unix: float | None = None
+
+    def as_dict(self) -> dict:
+        doc = {
+            "job_id": self.job_id,
+            "experiment": self.experiment,
+            "params": self.params,
+            "state": self.state,
+            "submitted_unix": self.submitted_unix,
+        }
+        if self.run_id is not None:
+            doc["run_id"] = self.run_id
+        if self.started_unix is not None:
+            doc["started_unix"] = self.started_unix
+        if self.finished_unix is not None:
+            doc["finished_unix"] = self.finished_unix
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+def default_experiment_registry() -> dict[str, Callable[..., Any]]:
+    """The CLI's experiment registry, reduced to name → driver."""
+    from repro.cli import EXPERIMENTS
+
+    return {name: fn for name, (fn, _) in EXPERIMENTS.items()}
+
+
+def resolve_spec(
+    document: Any, experiments: Mapping[str, Callable[..., Any]]
+) -> tuple[str, dict]:
+    """Validate a submitted job document into ``(experiment, params)``.
+
+    Mirrors the CLI's override handling: unknown experiments and
+    parameters fail with the known list, string values convert to the
+    type of the parameter's default, and native JSON values must match
+    that type (ints widen to float defaults).
+    """
+    from repro.cli import _convert, _tunable_params
+
+    if not isinstance(document, Mapping):
+        raise JobSpecError("job spec must be a JSON object")
+    name = document.get("experiment", document.get("workload"))
+    if not isinstance(name, str) or not name:
+        raise JobSpecError(
+            "job spec needs an 'experiment' (or 'workload') name; "
+            "known experiments: " + ", ".join(sorted(experiments))
+        )
+    fn = experiments.get(name)
+    if fn is None:
+        raise JobSpecError(
+            f"unknown experiment {name!r}; known experiments: "
+            + ", ".join(sorted(experiments))
+        )
+    raw_params = document.get("params") or {}
+    if not isinstance(raw_params, Mapping):
+        raise JobSpecError("'params' must be a JSON object")
+    tunable = _tunable_params(fn)
+    params: dict[str, Any] = {}
+    for raw_key, value in raw_params.items():
+        key = str(raw_key).replace("-", "_")
+        if key not in tunable:
+            known = ", ".join(sorted(tunable))
+            raise JobSpecError(
+                f"unknown parameter {raw_key!r} for {name!r}; "
+                f"tunable parameters: {known}"
+            )
+        default = tunable[key]
+        if isinstance(value, str):
+            try:
+                value = _convert(value, default)
+            except ValueError as exc:
+                raise JobSpecError(
+                    f"bad value for {raw_key!r}: {exc}"
+                ) from exc
+        elif isinstance(default, bool) or isinstance(value, bool):
+            if not (
+                isinstance(default, bool) and isinstance(value, bool)
+            ):
+                raise JobSpecError(
+                    f"bad value for {raw_key!r}: expected "
+                    f"{type(default).__name__}, got {value!r}"
+                )
+        elif isinstance(default, float) and isinstance(value, int):
+            value = float(value)
+        elif not isinstance(value, type(default)):
+            raise JobSpecError(
+                f"bad value for {raw_key!r}: expected "
+                f"{type(default).__name__}, got {value!r}"
+            )
+        params[key] = value
+    return name, params
+
+
+class JobService:
+    """Bounded admission queue + worker pool over the run ledger."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        experiments: Mapping[str, Callable[..., Any]] | None = None,
+        workers: int = DEFAULT_WORKERS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("job service needs at least one worker")
+        if queue_depth < 1:
+            raise ValueError("admission queue depth must be >= 1")
+        self._store = store
+        self._experiments = (
+            dict(experiments) if experiments is not None else None
+        )
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._records: dict[str, JobRecord] = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._draining = False
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "JobService":
+        """Spawn the worker threads (idempotent)."""
+        if not self._threads:
+            self._threads = [
+                threading.Thread(
+                    target=self._worker,
+                    name=f"repro-job-worker-{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: reject new jobs, finish admitted ones.
+
+        Parks each worker with a sentinel *behind* everything already
+        queued, so every accepted job still runs; returns ``True`` once
+        all workers have exited (``False`` on timeout).
+        """
+        with self._lock:
+            already = self._draining
+            self._draining = True
+        if self._threads and not already:
+            for _ in self._threads:
+                # Blocks while the queue is full — workers are still
+                # consuming, so space frees up; the sentinel lands
+                # after every accepted job.
+                self._queue.put(_STOP)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        for thread in self._threads:
+            remaining = (
+                None
+                if deadline is None
+                else max(deadline - time.monotonic(), 0.0)
+            )
+            thread.join(remaining)
+        return all(not thread.is_alive() for thread in self._threads)
+
+    # -- admission -------------------------------------------------------
+    def submit(self, document: Any) -> JobRecord:
+        """Admit one job document; raises instead of queueing unbounded.
+
+        :raises JobSpecError: malformed document (map to HTTP 400).
+        :raises ServiceDraining: shutting down (map to HTTP 503).
+        :raises JobQueueFull: admission queue full (map to HTTP 429).
+        """
+        experiment, params = resolve_spec(document, self._registry())
+        with self._lock:
+            if self._draining:
+                raise ServiceDraining(
+                    "job service is draining; not accepting new jobs"
+                )
+            record = JobRecord(
+                job_id=f"job-{next(self._seq):06d}",
+                experiment=experiment,
+                params=params,
+                state=QUEUED,
+                submitted_unix=time.time(),
+            )
+            try:
+                self._queue.put_nowait(record)
+            except queue.Full:
+                raise JobQueueFull(
+                    f"admission queue full ({self.queue_depth} jobs "
+                    f"queued); retry after {self.retry_after:g}s",
+                    self.retry_after,
+                ) from None
+            self._records[record.job_id] = record
+            self._order.append(record.job_id)
+        return record
+
+    # -- inspection ------------------------------------------------------
+    def job(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return [self._records[job_id] for job_id in self._order]
+
+    def describe(self) -> dict:
+        """The ``GET /jobs`` document: queue stats + every job."""
+        jobs = self.jobs()
+        by_state = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED_STATE: 0}
+        for record in jobs:
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+        return {
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "draining": self._draining,
+            "states": by_state,
+            "jobs": [record.as_dict() for record in jobs],
+        }
+
+    # -- execution -------------------------------------------------------
+    def _registry(self) -> Mapping[str, Callable[..., Any]]:
+        if self._experiments is None:
+            self._experiments = default_experiment_registry()
+        return self._experiments
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._execute(item)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, record: JobRecord) -> None:
+        """Run one job under its own thread-scoped flight recorder.
+
+        This is deliberately the same sequence as ``repro run
+        --record``: recorder in, driver call, recorder finalised from
+        the ``finally`` path with ``failed`` status on a raise — so the
+        receipt (and the failure bundle) are identical either way.
+        """
+        record.state = RUNNING
+        record.started_unix = time.time()
+        status = FAILED
+        try:
+            fn = self._registry()[record.experiment]
+            recorder = FlightRecorder(
+                self._store,
+                kind="experiment",
+                name=record.experiment,
+                params={record.experiment: record.params},
+                argv=["jobs", record.experiment],
+            )
+        except Exception as exc:
+            record.error = f"{type(exc).__name__}: {exc}"
+            record.state = FAILED_STATE
+            record.finished_unix = time.time()
+            return
+        record.run_id = recorder.run_id
+        set_flight_recorder(recorder, scope=THREAD_SCOPE)
+        try:
+            fn(**record.params)
+            status = COMPLETED
+        except Exception as exc:
+            record.error = f"{type(exc).__name__}: {exc}"
+            recorder.record_error(exc)
+        finally:
+            clear_flight_recorder(scope=THREAD_SCOPE)
+            try:
+                recorder.finalize(status)
+            except Exception as exc:
+                record.error = record.error or (
+                    f"{type(exc).__name__}: {exc}"
+                )
+                status = FAILED
+            record.state = (
+                DONE if status == COMPLETED else FAILED_STATE
+            )
+            record.finished_unix = time.time()

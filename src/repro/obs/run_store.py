@@ -23,6 +23,14 @@ still leaves a usable post-mortem bundle; ``counters.json`` and
 Retention: :meth:`RunStore.prune` keeps the newest ``keep`` finished
 runs (``REPRO_RUNS_KEEP`` overrides the default of 64) and never
 touches a run that is still ``running``.
+
+Concurrency contract: many writers (processes or threads) may share
+one store root.  Creation retries on directory collisions instead of
+pre-checking, JSONL rows land as one ``O_APPEND`` write each (so a
+crash can only tear the *final* line, which readers skip and count),
+JSON documents are written to a temp file and atomically renamed into
+place, and readers tolerate runs vanishing underneath them (a
+concurrent ``prune``/``delete``).
 """
 
 from __future__ import annotations
@@ -131,19 +139,53 @@ def _canonical_json(document: dict) -> str:
 
 
 def _read_json(path: Path, default: dict | None = None) -> dict:
-    if not path.exists():
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
         return dict(default or {})
-    return json.loads(path.read_text())
 
 
-def _read_jsonl(path: Path) -> list[dict]:
-    if not path.exists():
+def _write_json(path: Path, document: dict) -> None:
+    """Write a JSON document atomically (temp file + rename).
+
+    A plain ``write_text`` truncates first, so a crash (or a concurrent
+    reader) mid-write observes a torn document; ``os.replace`` swaps
+    the complete file in as one atomic step.
+    """
+    payload = json.dumps(document, indent=1, sort_keys=True) + "\n"
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(payload)
+    os.replace(tmp, path)
+
+
+def _read_jsonl(path: Path, on_torn_tail=None) -> list[dict]:
+    """Read a JSONL artifact, tolerating a torn final line.
+
+    Rows are appended as single ``O_APPEND`` writes, so a crash mid-
+    append can only leave a partial *last* line.  Skipping (and
+    counting, via ``on_torn_tail``) an undecodable tail keeps every
+    complete row readable instead of poisoning the whole file; an
+    undecodable line anywhere else is real corruption and still
+    raises.
+    """
+    try:
+        lines = path.read_text().splitlines()
+    except FileNotFoundError:
         return []
     rows: list[dict] = []
-    for line in path.read_text().splitlines():
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == last:
+                if on_torn_tail is not None:
+                    on_torn_tail(path)
+                break
+            raise
     return rows
 
 
@@ -159,11 +201,25 @@ class RunStore:
             root = os.environ.get(ENV_ROOT) or DEFAULT_ROOT
         self.root = Path(root)
         if keep is None:
-            raw = os.environ.get(ENV_KEEP)
-            keep = int(raw) if raw else DEFAULT_KEEP
+            raw = os.environ.get(ENV_KEEP, "").strip()
+            if raw:
+                try:
+                    keep = int(raw)
+                except ValueError as exc:
+                    raise RunStoreError(
+                        f"invalid {ENV_KEEP}={raw!r}: expected a "
+                        "positive integer (runs to keep when pruning)"
+                    ) from exc
+            else:
+                keep = DEFAULT_KEEP
         if keep < 1:
             raise RunStoreError("retention must keep at least one run")
         self.keep = keep
+        #: Torn JSONL tails skipped by this store instance's reads — a
+        #: crash mid-append leaves at most one partial final line per
+        #: artifact; readers skip it and account for it here (the
+        #: ``/metrics`` scrape surfaces the total).
+        self.torn_tail_lines = 0
 
     # -- creation --------------------------------------------------------
     def create(self, manifest: dict) -> OpenRun:
@@ -172,6 +228,11 @@ class RunStore:
         The id is derived from the manifest content itself, so the same
         manifest bytes always name the same directory; a (timestamp +
         pid) collision bumps a ``sequence`` field and re-hashes.
+
+        ``mkdir`` itself is the claim — no existence pre-check — so two
+        processes racing on the same manifest cannot both pass a check
+        and then collide; the loser catches ``FileExistsError`` and
+        retries with the next sequence number.
         """
         manifest = dict(manifest)
         manifest.setdefault("started_unix", time.time())
@@ -187,27 +248,35 @@ class RunStore:
             ).hexdigest()
             run_id = f"{stamp}-{digest[:10]}"
             path = self.root / run_id
-            if not path.exists():
-                break
-            sequence += 1
+            try:
+                path.mkdir(parents=True)
+            except FileExistsError:
+                sequence += 1
+                continue
+            break
         manifest["run_id"] = run_id
-        path.mkdir(parents=True)
-        (path / MANIFEST_FILE).write_text(
-            json.dumps(manifest, indent=1, sort_keys=True) + "\n"
-        )
+        _write_json(path / MANIFEST_FILE, manifest)
         self.write_status(run_id, {"status": RUNNING})
         return OpenRun(run_id=run_id, path=path)
 
     def append_row(self, run_id: str, file_name: str, row: dict) -> None:
-        """Append one JSON row to a run's JSONL artifact (crash-safe:
-        each row is written and flushed independently)."""
-        with (self.root / run_id / file_name).open("a") as handle:
-            handle.write(json.dumps(row) + "\n")
+        """Append one JSON row to a run's JSONL artifact.
+
+        The row is pre-encoded and lands through an unbuffered
+        ``O_APPEND`` handle, so concurrent appenders never interleave
+        within a line and a crash can only tear the final line — which
+        :func:`_read_jsonl` skips and counts on read.
+        """
+        data = (json.dumps(row) + "\n").encode()
+        with (self.root / run_id / file_name).open(
+            "ab", buffering=0
+        ) as handle:
+            view = memoryview(data)
+            while view:
+                view = view[handle.write(view) :]
 
     def write_status(self, run_id: str, status: dict) -> None:
-        (self.root / run_id / STATUS_FILE).write_text(
-            json.dumps(status, indent=1, sort_keys=True) + "\n"
-        )
+        _write_json(self.root / run_id / STATUS_FILE, status)
 
     # -- lookup ----------------------------------------------------------
     def run_ids(self) -> list[str]:
@@ -242,24 +311,39 @@ class RunStore:
     def load(self, run_id: str) -> RunRecord:
         path = self.root / run_id
         manifest_path = path / MANIFEST_FILE
-        if not manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except FileNotFoundError:
+            # Also covers the run vanishing (concurrent prune/delete)
+            # between a listing and this load.
             raise RunStoreError(
                 f"no run matching {run_id!r} under {self.root}"
-            )
+            ) from None
         counters_doc = _read_json(path / COUNTERS_FILE)
         return RunRecord(
             run_id=run_id,
             path=path,
-            manifest=_read_json(manifest_path),
+            manifest=manifest,
             status=_read_json(path / STATUS_FILE, {"status": RUNNING}),
-            entries=_read_jsonl(path / ENTRIES_FILE),
+            entries=_read_jsonl(path / ENTRIES_FILE, self._count_torn),
             counters=counters_doc.get("counters")
             if counters_doc
             else None,
         )
 
     def load_all(self) -> list[RunRecord]:
-        return [self.load(run_id) for run_id in self.run_ids()]
+        """Every loadable run; one vanishing mid-iteration (a
+        concurrent ``prune``/``delete``) is skipped, not raised."""
+        records: list[RunRecord] = []
+        for run_id in self.run_ids():
+            try:
+                records.append(self.load(run_id))
+            except RunStoreError:
+                continue
+        return records
+
+    def _count_torn(self, path: Path) -> None:
+        self.torn_tail_lines += 1
 
     # -- retention -------------------------------------------------------
     def prune(self, keep: int | None = None) -> list[str]:
@@ -274,7 +358,9 @@ class RunStore:
         finished.sort(key=lambda record: (record.started, record.run_id))
         removed: list[str] = []
         for record in finished[: max(len(finished) - keep, 0)]:
-            shutil.rmtree(record.path)
+            # ignore_errors: a concurrent prune may be removing the
+            # same run; losing that race is success, not failure.
+            shutil.rmtree(record.path, ignore_errors=True)
             removed.append(record.run_id)
         return removed
 
@@ -284,4 +370,4 @@ class RunStore:
             raise RunStoreError(
                 f"no run matching {run_id!r} under {self.root}"
             )
-        shutil.rmtree(path)
+        shutil.rmtree(path, ignore_errors=True)

@@ -2,7 +2,7 @@
 
 ``repro serve`` mounts the flight-recorder ledger (completed *and*
 in-flight runs — entries are appended incrementally, so a running
-process's jobs are visible mid-run) behind four endpoints:
+process's jobs are visible mid-run) behind these read endpoints:
 
 * ``/metrics`` — a Prometheus text-format scrape: run counts by
   status, every recorded counter aggregated across runs, and the
@@ -12,8 +12,19 @@ process's jobs are visible mid-run) behind four endpoints:
   git-style unique id prefixes resolve.
 * ``/healthz`` — liveness probe.
 
-Stdlib only (``ThreadingHTTPServer``); this is the seam a job-service
-front end mounts, and what a Prometheus scraper points at.
+With a :class:`~repro.obs.jobservice.JobService` attached the server
+is also the **write path**:
+
+* ``POST /jobs`` — submit a job spec (``{"experiment": ...,
+  "params": {...}}``); 202 with the job id on admission, 429 with a
+  ``Retry-After`` header when the bounded queue is full, 400 on a
+  malformed spec, 503 while draining.
+* ``GET /jobs`` — queue stats plus every submitted job's state.
+* ``GET /jobs/<id>`` — one job (``queued``/``running``/``done``/
+  ``failed``) with its ledger run id once assigned.
+
+Stdlib only (``ThreadingHTTPServer``) — what a Prometheus scraper
+points at, and what the load generator drives.
 """
 
 from __future__ import annotations
@@ -23,6 +34,12 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
+from repro.obs.jobservice import (
+    JobQueueFull,
+    JobService,
+    JobSpecError,
+    ServiceDraining,
+)
 from repro.obs.metrics import (
     _fmt,
     escape_label_value,
@@ -74,16 +91,41 @@ def render_metrics(store: RunStore) -> str:
     )
     lines.append("# TYPE repro_run_entries gauge")
     lines.append(f"repro_run_entries {entries_total}")
+    lines.append(
+        "# HELP repro_store_torn_tail_lines JSONL tail lines skipped "
+        "as torn (crash mid-append) by this store's reads"
+    )
+    lines.append("# TYPE repro_store_torn_tail_lines gauge")
+    lines.append(
+        f"repro_store_torn_tail_lines {store.torn_tail_lines}"
+    )
 
+    # Distinct raw counter names can sanitise to one Prometheus name
+    # (``a.b`` and ``a_b`` both become ``a_b``); merging *before*
+    # emission keeps exactly one ``# TYPE`` line per family — duplicate
+    # declarations are a hard parse error for real scrapers.
+    prom_counters: dict[str, float] = {}
     for raw in sorted(counters):
         name = prometheus_name(raw)
+        prom_counters[name] = prom_counters.get(name, 0.0) + counters[raw]
+    for name in sorted(prom_counters):
         lines.append(f"# TYPE {name} counter")
-        lines.append(f"{name} {_fmt(counters[raw])}")
+        lines.append(f"{name} {_fmt(prom_counters[name])}")
 
+    # Same for derived gauges: one family per sanitised name, and
+    # colliding samples with identical labels fold together so a
+    # family never carries duplicate series either.
+    prom_derived: dict[str, dict[tuple[str, int, str], float]] = {}
     for raw in sorted(derived):
-        name = prometheus_name(raw)
-        lines.append(f"# TYPE {name} gauge")
+        family = prom_derived.setdefault(prometheus_name(raw), {})
         for run_id, index, entry_name, value in derived[raw]:
+            key = (run_id, index, entry_name)
+            family[key] = family.get(key, 0.0) + value
+    for name in sorted(prom_derived):
+        lines.append(f"# TYPE {name} gauge")
+        for (run_id, index, entry_name), value in prom_derived[
+            name
+        ].items():
             labels = (
                 f'run="{escape_label_value(run_id)}",'
                 f'index="{index}",'
@@ -96,9 +138,15 @@ def render_metrics(store: RunStore) -> str:
 class _LedgerHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], store: RunStore):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        store: RunStore,
+        service: JobService | None = None,
+    ):
         super().__init__(address, _Handler)
         self.store = store
+        self.service = service
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -128,24 +176,110 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(404, {"error": str(exc)})
                     return
                 self._send_json(200, record.detail())
+            elif path == "/jobs" or path.startswith("/jobs/"):
+                self._get_jobs(path)
             else:
                 self._send_json(404, {"error": f"no such path: {path}"})
         except Exception as exc:  # a bad scrape must not kill the server
             self._send_json(500, {"error": str(exc)})
 
-    def _send(self, code: int, body: str, content_type: str) -> None:
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        service = self._service()
+        try:
+            if path != "/jobs":
+                self._send_json(404, {"error": f"no such path: {path}"})
+                return
+            if service is None:
+                self._send_json(
+                    503,
+                    {
+                        "error": "job submission is disabled "
+                        "(no job service attached)"
+                    },
+                )
+                return
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                document = json.loads(self.rfile.read(length) or b"{}")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._send_json(
+                    400, {"error": f"request body is not JSON: {exc}"}
+                )
+                return
+            try:
+                record = service.submit(document)
+            except JobSpecError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except JobQueueFull as exc:
+                self._send_json(
+                    429,
+                    {
+                        "error": str(exc),
+                        "retry_after": exc.retry_after,
+                    },
+                    headers={"Retry-After": f"{exc.retry_after:g}"},
+                )
+            except ServiceDraining as exc:
+                self._send_json(503, {"error": str(exc)})
+            else:
+                doc = record.as_dict()
+                doc["status_url"] = f"/jobs/{record.job_id}"
+                self._send_json(202, doc)
+        except Exception as exc:  # a bad submit must not kill the server
+            self._send_json(500, {"error": str(exc)})
+
+    def _get_jobs(self, path: str) -> None:
+        service = self._service()
+        if service is None:
+            self._send_json(
+                404,
+                {
+                    "error": "no job service attached "
+                    "(start 'repro serve' for the write path)"
+                },
+            )
+            return
+        if path == "/jobs":
+            self._send_json(200, service.describe())
+            return
+        job_id = path[len("/jobs/") :]
+        record = service.job(job_id)
+        if record is None:
+            self._send_json(404, {"error": f"no such job: {job_id}"})
+            return
+        self._send_json(200, record.as_dict())
+
+    def _service(self) -> JobService | None:
+        return getattr(self.server, "service", None)
+
+    def _send(
+        self,
+        code: int,
+        body: str,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         payload = body.encode()
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, code: int, document: object) -> None:
+    def _send_json(
+        self,
+        code: int,
+        document: object,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._send(
             code,
             json.dumps(document, indent=1) + "\n",
             "application/json",
+            headers,
         )
 
     def log_message(self, format: str, *args: object) -> None:
@@ -160,9 +294,11 @@ class ObservabilityServer:
         store: RunStore,
         host: str = "127.0.0.1",
         port: int = 0,
+        service: JobService | None = None,
     ) -> None:
-        self._httpd = _LedgerHTTPServer((host, port), store)
+        self._httpd = _LedgerHTTPServer((host, port), store, service)
         self._thread: threading.Thread | None = None
+        self.service = service
 
     @property
     def host(self) -> str:

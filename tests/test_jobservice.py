@@ -1,0 +1,401 @@
+"""Tests for the ``repro serve`` job-submission write path.
+
+The service contract pinned here:
+
+* **Counter invariance over HTTP** — a job submitted via ``POST
+  /jobs`` produces a ``counters.json`` receipt *byte-identical* to the
+  same job run via ``repro run --record``.
+* **Bounded admission** — a full queue is an explicit 429 with a
+  ``Retry-After`` header, never an unbounded backlog; a draining
+  service answers 503.
+* **Graceful drain** — every accepted job finishes (and finalises its
+  ledger bundle) before the workers park.
+* **Failure isolation** — a raising job lands a ``status=failed``
+  bundle and the worker survives to run the next job.
+* **Load holds** — the load generator drives a burst of jobs through
+  the bounded queue with zero lost accepted jobs and every ``/metrics``
+  scrape valid throughout.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.obs.jobservice import (
+    DONE,
+    FAILED_STATE,
+    JobQueueFull,
+    JobService,
+    JobSpecError,
+    ServiceDraining,
+    resolve_spec,
+)
+from repro.obs.loadgen import run_load
+from repro.obs.run_store import RunStore
+from repro.obs.server import ObservabilityServer
+
+#: Small enough for sub-second jobs, big enough to exercise the
+#: spill/merge paths the experiment drivers hit.
+TINY_WORDCOUNT = {
+    "num_lines": 60,
+    "words_per_line": 6,
+    "vocabulary_size": 12,
+    "num_reducers": 2,
+    "num_splits": 2,
+}
+
+
+def _post(url: str, document: dict) -> tuple[int, dict, dict]:
+    request = urllib.request.Request(
+        url + "/jobs",
+        data=json.dumps(document).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return (
+                response.getcode(),
+                json.loads(response.read()),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _get(url: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url + path) as response:
+            return response.getcode(), json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _wait_terminal(service: JobService, job_id: str, timeout=30.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = service.job(job_id)
+        if record is not None and record.state in (DONE, FAILED_STATE):
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+# -- spec validation --------------------------------------------------------
+class TestResolveSpec:
+    REGISTRY = {"wc": lambda num_lines=10, rate=0.5, fast=False: None}
+
+    def test_valid_spec_with_conversions(self) -> None:
+        name, params = resolve_spec(
+            {
+                "experiment": "wc",
+                "params": {
+                    "num-lines": "25",  # dashed key + string value
+                    "rate": 2,  # int widens to the float default
+                    "fast": True,
+                },
+            },
+            self.REGISTRY,
+        )
+        assert name == "wc"
+        assert params == {"num_lines": 25, "rate": 2.0, "fast": True}
+        assert isinstance(params["rate"], float)
+
+    def test_workload_alias_and_empty_params(self) -> None:
+        name, params = resolve_spec(
+            {"workload": "wc"}, self.REGISTRY
+        )
+        assert (name, params) == ("wc", {})
+
+    @pytest.mark.parametrize(
+        "document, match",
+        [
+            ([1, 2], "JSON object"),
+            ({}, "known experiments"),
+            ({"experiment": "nope"}, "unknown experiment"),
+            ({"experiment": "wc", "params": [1]}, "JSON object"),
+            (
+                {"experiment": "wc", "params": {"bogus": 1}},
+                "tunable parameters",
+            ),
+            (
+                {"experiment": "wc", "params": {"num_lines": "many"}},
+                "bad value",
+            ),
+            (
+                {"experiment": "wc", "params": {"num_lines": 1.5}},
+                "expected int",
+            ),
+            (
+                {"experiment": "wc", "params": {"fast": 1}},
+                "expected bool",
+            ),
+        ],
+    )
+    def test_malformed_specs_raise(self, document, match) -> None:
+        with pytest.raises(JobSpecError, match=match):
+            resolve_spec(document, self.REGISTRY)
+
+
+# -- admission control ------------------------------------------------------
+class TestAdmission:
+    def test_full_queue_rejects_with_retry_after(self, tmp_path) -> None:
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocker() -> None:
+            started.set()
+            assert release.wait(30)
+
+        service = JobService(
+            RunStore(tmp_path, keep=100),
+            experiments={"block": blocker},
+            workers=1,
+            queue_depth=1,
+        ).start()
+        try:
+            first = service.submit({"experiment": "block"})
+            assert started.wait(10)  # worker holds the first job
+            second = service.submit({"experiment": "block"})
+            with pytest.raises(JobQueueFull) as excinfo:
+                service.submit({"experiment": "block"})
+            assert excinfo.value.retry_after > 0
+        finally:
+            release.set()
+        assert service.drain(timeout=30)
+        assert _wait_terminal(service, first.job_id).state == DONE
+        assert _wait_terminal(service, second.job_id).state == DONE
+
+    def test_drain_finishes_accepted_then_rejects(self, tmp_path) -> None:
+        ran: list[int] = []
+        service = JobService(
+            RunStore(tmp_path, keep=100),
+            experiments={"quick": lambda: ran.append(1)},
+            workers=2,
+            queue_depth=8,
+        ).start()
+        records = [
+            service.submit({"experiment": "quick"}) for _ in range(6)
+        ]
+        assert service.drain(timeout=30)
+        assert len(ran) == 6
+        assert all(
+            service.job(record.job_id).state == DONE
+            for record in records
+        )
+        with pytest.raises(ServiceDraining):
+            service.submit({"experiment": "quick"})
+
+    def test_failed_job_keeps_worker_and_lands_failed_bundle(
+        self, tmp_path
+    ) -> None:
+        def boom() -> None:
+            raise RuntimeError("kaput")
+
+        store = RunStore(tmp_path, keep=100)
+        service = JobService(
+            store,
+            experiments={"boom": boom, "ok": lambda: None},
+            workers=1,
+            queue_depth=4,
+        ).start()
+        bad = service.submit({"experiment": "boom"})
+        good = service.submit({"experiment": "ok"})
+        bad_record = _wait_terminal(service, bad.job_id)
+        good_record = _wait_terminal(service, good.job_id)
+        assert bad_record.state == FAILED_STATE
+        assert "kaput" in bad_record.error
+        assert good_record.state == DONE  # the worker survived
+        failed_run = store.load(bad_record.run_id)
+        assert failed_run.status_name == "failed"
+        assert "kaput" in failed_run.status["error"]
+        assert service.drain(timeout=30)
+
+
+# -- the HTTP surface -------------------------------------------------------
+@pytest.fixture
+def live(tmp_path):
+    store = RunStore(tmp_path / "ledger", keep=500)
+    service = JobService(store, workers=2, queue_depth=8).start()
+    server = ObservabilityServer(store, service=service).start()
+    yield store, service, server
+    service.drain(timeout=60)
+    server.stop()
+
+
+class TestHTTPSurface:
+    def test_receipt_identical_to_cli_recorded_run(
+        self, live, tmp_path, capsys
+    ) -> None:
+        store, service, server = live
+        direct = tmp_path / "direct"
+        argv = ["run", "wordcount", "--runs-dir", str(direct)]
+        for key, value in TINY_WORDCOUNT.items():
+            argv.append(f"--{key.replace('_', '-')}={value}")
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        code, doc, _ = _post(
+            server.url,
+            {"experiment": "wordcount", "params": TINY_WORDCOUNT},
+        )
+        assert code == 202
+        assert doc["state"] == "queued"
+        record = _wait_terminal(service, doc["job_id"])
+        assert record.state == DONE
+
+        (direct_receipt,) = sorted(direct.glob("*/counters.json"))
+        served_receipt = (
+            store.root / record.run_id / "counters.json"
+        )
+        assert (
+            served_receipt.read_bytes() == direct_receipt.read_bytes()
+        )
+
+    def test_submitted_job_served_by_runs_and_jobs_endpoints(
+        self, live
+    ) -> None:
+        _, service, server = live
+        code, doc, _ = _post(
+            server.url,
+            {"experiment": "wordcount", "params": TINY_WORDCOUNT},
+        )
+        assert code == 202
+        record = _wait_terminal(service, doc["job_id"])
+
+        code, job = _get(server.url, f"/jobs/{doc['job_id']}")
+        assert code == 200
+        assert job["state"] == "done"
+        assert job["run_id"] == record.run_id
+
+        code, listing = _get(server.url, "/jobs")
+        assert code == 200
+        assert listing["states"]["done"] >= 1
+        assert listing["queue_depth"] == 8
+
+        code, run = _get(server.url, f"/runs/{record.run_id}")
+        assert code == 200
+        assert run["status"] == "completed"
+        assert run["counters"]
+
+    def test_http_error_mapping(self, live) -> None:
+        _, _, server = live
+        code, doc, _ = _post(server.url, {"experiment": "nope"})
+        assert code == 400 and "unknown experiment" in doc["error"]
+
+        request = urllib.request.Request(
+            server.url + "/jobs", data=b"{not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+        code, doc = _get(server.url, "/jobs/job-999999")
+        assert code == 404
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                urllib.request.Request(
+                    server.url + "/runs", data=b"{}"
+                )
+            )
+        assert excinfo.value.code == 404
+
+    def test_http_429_carries_retry_after_header(self, tmp_path) -> None:
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocker() -> None:
+            started.set()
+            assert release.wait(30)
+
+        store = RunStore(tmp_path, keep=100)
+        service = JobService(
+            store,
+            experiments={"block": blocker},
+            workers=1,
+            queue_depth=1,
+        ).start()
+        server = ObservabilityServer(store, service=service).start()
+        try:
+            assert _post(server.url, {"experiment": "block"})[0] == 202
+            assert started.wait(10)
+            assert _post(server.url, {"experiment": "block"})[0] == 202
+            code, doc, headers = _post(
+                server.url, {"experiment": "block"}
+            )
+            assert code == 429
+            assert float(headers["Retry-After"]) > 0
+            assert "queue full" in doc["error"]
+        finally:
+            release.set()
+            service.drain(timeout=30)
+            server.stop()
+
+    def test_server_without_service_disables_write_path(
+        self, tmp_path
+    ) -> None:
+        server = ObservabilityServer(RunStore(tmp_path)).start()
+        try:
+            code, doc, _ = _post(server.url, {"experiment": "fig9"})
+            assert code == 503
+            code, doc = _get(server.url, "/jobs")
+            assert code == 404
+        finally:
+            server.stop()
+
+
+# -- load -------------------------------------------------------------------
+class TestLoadGenerator:
+    def test_burst_loses_nothing_and_scrapes_stay_valid(
+        self, live
+    ) -> None:
+        _, _, server = live
+        report = run_load(
+            url=server.url,
+            experiment="wordcount",
+            params=TINY_WORDCOUNT,
+            count=12,
+            concurrency=4,
+            timeout=120.0,
+            scrape_interval=0.05,
+        )
+        assert report.ok(), report.summary()
+        assert report.done == 12
+        assert report.scrapes > 0
+
+    def test_overflowing_burst_sheds_load_via_429(self, tmp_path) -> None:
+        import time
+
+        store = RunStore(tmp_path, keep=500)
+        # One slow worker + depth 2: an 8-job burst from 8 threads must
+        # trip admission control, and every 429 must be retried through
+        # to completion — shed, never lost.
+        service = JobService(
+            store,
+            experiments={"nap": lambda: time.sleep(0.05)},
+            workers=1,
+            queue_depth=2,
+        ).start()
+        server = ObservabilityServer(store, service=service).start()
+        try:
+            report = run_load(
+                url=server.url,
+                experiment="nap",
+                count=8,
+                concurrency=8,
+                timeout=120.0,
+                scrape_interval=0.05,
+            )
+        finally:
+            service.drain(timeout=60)
+            server.stop()
+        assert report.ok(), report.summary()
+        assert report.retries_429 > 0

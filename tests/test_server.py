@@ -186,3 +186,51 @@ class TestRenderMetrics:
             for _, labels, value in families["repro_runs"]["samples"]
         }
         assert statuses["completed"] == 2.0
+
+    def test_colliding_counter_names_emit_one_family(self, store) -> None:
+        # ``a.b`` and ``a_b`` both sanitise to ``a_b``; a naive
+        # per-raw-name loop would emit ``# TYPE a_b counter`` twice,
+        # which real scrapers reject as a parse error.
+        recorder = FlightRecorder(store, kind="experiment", name="c")
+        store.append_row(
+            recorder.run_id,
+            "entries.jsonl",
+            {
+                "index": 0,
+                "kind": "job",
+                "name": "collide",
+                "counters": {"a.b": 1.0, "a_b": 2.0},
+                "derived": {},
+            },
+        )
+        recorder.finalize(COMPLETED)
+        body = render_metrics(store)
+        assert body.count("# TYPE a_b counter") == 1
+        families = validate_prometheus_text(body)
+        assert families["a_b"]["samples"][0][2] == 3.0
+
+    def test_colliding_derived_names_emit_one_family(self, store) -> None:
+        recorder = FlightRecorder(store, kind="experiment", name="d")
+        store.append_row(
+            recorder.run_id,
+            "entries.jsonl",
+            {
+                "index": 0,
+                "kind": "job",
+                "name": "collide",
+                "counters": {},
+                "derived": {
+                    "mr.derived.x.y": 1.0,
+                    "mr.derived.x_y": 2.0,
+                },
+            },
+        )
+        recorder.finalize(COMPLETED)
+        body = render_metrics(store)
+        assert body.count("# TYPE mr_derived_x_y gauge") == 1
+        families = validate_prometheus_text(body)
+        # Identical (run, index, entry) labels fold into one sample —
+        # a family must never carry duplicate series either.
+        samples = families["mr_derived_x_y"]["samples"]
+        assert len(samples) == 1
+        assert samples[0][2] == 3.0
